@@ -1,0 +1,62 @@
+"""Ablations of the design choices (assembly size, thin vs fat, buffer
+depth, virtual channels)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(once):
+    result = once(ablations.run)
+
+    # assembly sweep: contention monotonically falls with assembly size
+    # at every radix, generalizing Figure 3 beyond 6-port parts
+    for radix in {row["radix"] for row in result["assembly_sweep"]}:
+        conts = [r["contention"] for r in result["assembly_sweep"] if r["radix"] == radix]
+        assert conts == sorted(conts, reverse=True)
+
+    # thin vs fat: fat always pays more routers for fewer hops and more
+    # bisection -- the paper's cost/performance dial
+    for row in result["thin_vs_fat"]:
+        if row["levels"] > 1:
+            assert row["fat_routers"] > row["thin_routers"]
+            assert row["fat_delay"] < row["thin_delay"]
+            assert row["fat_bisection"] > row["thin_bisection"]
+
+    # generalized assemblies (the conclusion's extension): contention
+    # falls and per-node router cost rises with M; M=4 is the balance
+    gen = {row["assembly"]: row for row in result["generalized_fracta"]}
+    assert all(row["deadlock_free"] for row in gen.values())
+    assert gen[3]["contention"] > gen[4]["contention"] > gen[5]["contention"]
+    assert (
+        gen[3]["routers_per_node"]
+        < gen[4]["routers_per_node"]
+        < gen[5]["routers_per_node"]
+    )
+
+    # buffering never prevents wormhole deadlock
+    rows = result["buffer_depth"]
+    assert all(r["deadlocked"] for r in rows)
+
+    # fat-tree port splits: contention falls and router count explodes as
+    # the split moves toward more up ports; 4-2 is the knee (§3.3's choice)
+    splits = {row["split"]: row for row in result["fat_tree_splits"]}
+    conts = [splits[k]["contention"] for k in ("5-1", "4-2", "3-3", "2-4")]
+    routers = [splits[k]["routers"] for k in ("5-1", "4-2", "3-3", "2-4")]
+    assert conts == sorted(conts, reverse=True)
+    assert routers == sorted(routers)
+    assert splits["4-2"]["routers"] == 28 and splits["4-2"]["contention"] == 12
+    assert splits["3-3"]["routers"] == 100
+
+    # wormhole is nearly distance-insensitive; store-and-forward pays the
+    # serialization per hop (the §2.0 motivation for wormhole routing)
+    sw = result["switching"]
+    assert sw["wormhole_far"] - sw["wormhole_near"] < sw["packet_size"]
+    assert sw["saf_far"] > 2.5 * sw["wormhole_far"]
+    assert sw["saf_far"] - sw["saf_near"] > 4 * sw["packet_size"]
+
+    # Dally-Seitz virtual channels fix the ring at 2x buffer cost
+    vc = result["vc_ring"]
+    assert vc["single_vc_deadlocked"] and not vc["dateline_deadlocked"]
+    assert vc["buffer_cost_vc"] == 2 * vc["buffer_cost_single"]
+
+    print()
+    print(ablations.report())

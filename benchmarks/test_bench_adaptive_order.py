@@ -1,0 +1,19 @@
+"""§3.3: adaptive link selection breaks ServerNet's in-order contract."""
+
+from repro.experiments import adaptive_order
+
+
+def test_adaptive_routing_reorders(once):
+    result = once(adaptive_order.run)
+    fixed, adaptive = result["fixed"], result["adaptive"]
+    # the fixed partitioning keeps the contract
+    assert fixed["order_violations"] == 0
+    assert fixed["delivered"] == fixed["offered"]
+    # the "tempting" adaptive scheme delivers everything -- out of order
+    assert adaptive["order_violations"] > 0
+    assert adaptive["delivered"] == adaptive["offered"]
+    # and it is indeed tempting: latency improves, which is why the paper
+    # has to argue against it rather than dismiss it
+    assert adaptive["avg_latency"] < fixed["avg_latency"]
+    print()
+    print(adaptive_order.report())

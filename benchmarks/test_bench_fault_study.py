@@ -1,0 +1,19 @@
+"""§1.0: dual-fabric fault tolerance on the fat fractahedron."""
+
+from repro.experiments import fault_study
+
+
+def test_dual_fabric_availability(once):
+    result = once(fault_study.run, failure_counts=(1, 2, 4, 8), trials=10)
+    rows = {row["failures"]: row for row in result["rows"]}
+    # single fabric degrades monotonically (on average) with failures
+    singles = [rows[k]["single_avg"] for k in (1, 2, 4, 8)]
+    assert singles == sorted(singles, reverse=True)
+    # one failed cable never partitions the dual fabric
+    assert rows[1]["dual_min"] == 1.0
+    # dual fabrics dominate single fabrics at every failure count
+    for k in (1, 2, 4, 8):
+        assert rows[k]["dual_avg"] > rows[k]["single_avg"]
+        assert rows[k]["dual_avg"] > 0.95
+    print()
+    print(fault_study.report())

@@ -1,0 +1,18 @@
+"""Figure 1: deadlock in a wormhole-routed network, and its avoidance."""
+
+from repro.experiments import fig1_deadlock
+
+
+def test_fig1_deadlock(once):
+    result = once(fig1_deadlock.run)
+    # loop routing: a 4-channel dependency cycle that actually deadlocks
+    assert result["clockwise_cdg_cycle"] is not None
+    assert len(result["clockwise_cdg_cycle"]) == 4
+    assert result["clockwise_deadlocked"]
+    assert result["clockwise_delivered"] == 0
+    # dimension order: acyclic and everything delivers
+    assert result["dor_cdg_cycle"] is None
+    assert not result["dor_deadlocked"]
+    assert result["dor_delivered"] == 4
+    print()
+    print(fig1_deadlock.report())

@@ -1,0 +1,26 @@
+"""Figure 2: breaking 3-cube deadlocks with path disables."""
+
+from repro.experiments import fig2_hypercube
+
+
+def test_fig2_path_disables(once):
+    result = once(fig2_hypercube.run)
+    # unrestricted table contents can close dependency cycles
+    assert result["free_cdg_cyclic"]
+    # six double-ended arrows (12 one-way turn prohibitions), as the
+    # figure draws, make the cube hardware-level deadlock-free
+    assert result["num_prohibited_turns"] == 12
+    assert not result["disables_cdg_cyclic"]
+    # §2.2: the upper links end up used only to reach the top node...
+    assert min(result["upper_link_top_fraction"].values()) == 1.0
+    # ...and utilization is uneven compared to e-cube
+    assert result["disables_imbalance"] > result["ecube_imbalance"]
+    # the e-cube alternative trades that for non-reflexive routes
+    assert result["ecube_reflexive"] < 1.0
+    # §2.2's single-ended variant: still deadlock-free, *more even* load
+    # than the double-ended disables, but fewer reflexive pairs
+    assert not result["uni_cdg_cyclic"]
+    assert result["uni_imbalance"] < result["disables_imbalance"]
+    assert result["uni_reflexive"] < result["disables_reflexive"]
+    print()
+    print(fig2_hypercube.report())

@@ -1,0 +1,12 @@
+"""Figure 3: fully-connected assemblies of 6-port routers."""
+
+from repro.experiments import fig3_assemblies
+
+
+def test_fig3_assembly_table(once):
+    rows = once(fig3_assemblies.run)
+    for m, (ports, contention) in fig3_assemblies.PAPER_TABLE.items():
+        assert rows[m]["end_ports"] == ports, f"M={m} ports"
+        assert rows[m]["contention"] == contention, f"M={m} contention"
+    print()
+    print(fig3_assemblies.report())

@@ -1,0 +1,71 @@
+"""§4.0 future work: wormhole simulation under heavy load.
+
+The paper reports no simulation numbers (it promises them as future
+work), so this benchmark checks the *shape* our simulator produces:
+
+* everyone delivers at low load with single-digit-tens latency;
+* the fat fractahedron saturates at a higher accepted load than the 4-2
+  fat tree (its worst-case contention is lower);
+* the database workload's latency ordering favours the fractahedron;
+* nothing deadlocks and nothing is delivered out of order.
+"""
+
+from repro.experiments import future_simulation
+
+
+def test_large_scale_1024_cpus(once):
+    """'Simulations of large topologies': the 1024-CPU fat fractahedron
+    at light load delivers near the zero-load model with no deadlock and
+    no reordering."""
+    point = once(future_simulation.large_scale_point)
+    assert point["nodes"] == 1024
+    assert not point["deadlocked"]
+    assert point["order_violations"] == 0
+    assert point["delivered"] >= 0.95 * point["offered"]
+    # light load: average latency within 2x of the worst zero-load route
+    assert point["avg_latency"] < 2 * point["zero_load_worst_latency"]
+    print()
+    print(
+        f"1024-CPU fat fractahedron ({point['routers']} routers): "
+        f"avg latency {point['avg_latency']:.1f} cycles "
+        f"(zero-load worst {point['zero_load_worst_latency']}), "
+        f"{point['delivered']}/{point['offered']} delivered"
+    )
+
+
+def test_load_sweep_shape(once):
+    results = once(future_simulation.run, rates=(0.005, 0.02, 0.04), cycles=3000)
+
+    for name, data in results.items():
+        for point in data["sweep"]:
+            assert not point["deadlocked"], name
+            assert point["order_violations"] == 0, name
+        low = data["sweep"][0]
+        # at low load everything offered is (nearly) delivered
+        assert low["delivered"] >= 0.95 * low["offered"], name
+        assert low["avg_latency"] < 40, name
+
+    # saturation: accepted throughput at the highest offered rate
+    top = {
+        name: data["sweep"][-1]["accepted_flits_per_node_cycle"]
+        for name, data in results.items()
+    }
+    assert top["fat fractahedron"] > 1.2 * top["fat tree 4-2"]
+
+    # database workload: fractahedron at least matches the fat tree
+    db_lat = {
+        name: data["database"]["avg_latency"] for name, data in results.items()
+    }
+    assert db_lat["fat fractahedron"] < db_lat["fat tree 4-2"]
+    for name, data in results.items():
+        db = data["database"]
+        assert db["delivered"] == db["offered"], name
+        assert db["order_violations"] == 0, name
+
+    print()
+    print("accepted flits/node/cycle at offered 0.04:")
+    for name, value in top.items():
+        print(f"  {name:20s} {value:.3f}")
+    print("database workload avg latency (cycles):")
+    for name, value in db_lat.items():
+        print(f"  {name:20s} {value:.1f}")

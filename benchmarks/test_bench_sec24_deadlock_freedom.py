@@ -1,0 +1,19 @@
+"""§2.4: fractahedral deadlock prevention -- certification, the
+neighbor-uplink anti-pattern, and the path-disable hardware backstop."""
+
+from repro.experiments import sec24_deadlock
+
+
+def test_sec24_deadlock_prevention(once):
+    result = once(sec24_deadlock.run)
+    # the shipped routing is certified acyclic at every size built
+    assert all(result["certified"].values())
+    # breaking the "always take the local inter-level link" rule still
+    # delivers but reintroduces the loops -- and they really deadlock
+    assert result["funneled_delivers"]
+    assert result["funneled_cdg_cyclic"]
+    assert result["funneled_deadlocked"]
+    # a corrupted routing table is blocked by the disable registers
+    assert result["corruption_blocked"]
+    print()
+    print(sec24_deadlock.report())

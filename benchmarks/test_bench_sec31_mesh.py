@@ -1,0 +1,20 @@
+"""§3.1: 2-D mesh scaling and the 10:1 corner-turn contention."""
+
+from repro.experiments import sec31_mesh
+
+
+def test_sec31_mesh(once):
+    result = once(sec31_mesh.run)
+    assert [(s["nodes"], s["side"], s["max_hops"]) for s in result["scaling"]] == [
+        (64, 6, 11),
+        (128, 8, 15),
+        (1024, 23, 45),
+    ]
+    assert all(
+        s["max_hops"] == s["paper_max_hops"] for s in result["scaling"]
+    )
+    assert result["worst_contention"] == 10  # paper: 10:1
+    assert result["pattern_contention"] == 10  # the A1-F6 ... A5-B6 set
+    assert result["deadlock_free"]
+    print()
+    print(sec31_mesh.report())

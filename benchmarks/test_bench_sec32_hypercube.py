@@ -1,0 +1,12 @@
+"""§3.2: hypercubes do not fit 6-port routers; disables skew utilization."""
+
+from repro.experiments import sec32_hypercube
+
+
+def test_sec32_hypercube(once):
+    result = once(sec32_hypercube.run)
+    assert not result["six_d_feasible"]  # paper: needs a 7-port router
+    assert result["five_d_nodes"] == 32  # the biggest cube that fits
+    assert result["disabled_imbalance"] > 1.5  # uneven under disables
+    print()
+    print(sec32_hypercube.report())

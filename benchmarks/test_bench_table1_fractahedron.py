@@ -1,0 +1,32 @@
+"""Table 1: N-level 2-3-1 fractahedral parameters (and Figure 5's thin
+structure), measured on built networks up to the paper's 1024-CPU size."""
+
+from repro.core.analysis import fat_bisection_links, thin_bisection_links
+from repro.experiments import table1_fractahedron
+
+#: (levels, fat) -> paper expectations: nodes 2*8^N; delay 4N-2 / 3N-1
+#: (+2 fan-out); bisection thin 4 / fat 4^N.
+PAPER = {
+    (1, False): (16, 4, 4),
+    (1, True): (16, 4, 4),
+    (2, False): (128, 8, 4),
+    (2, True): (128, 7, 16),
+    (3, False): (1024, 12, 4),
+    (3, True): (1024, 10, 64),
+}
+
+
+def test_table1_all_levels(once):
+    rows = once(table1_fractahedron.run, max_levels=3, sample_pairs=1000)
+    by_key = {(r["levels"], r["fat"]): r for r in rows}
+    for (levels, fat), (nodes, delay, bisection) in PAPER.items():
+        row = by_key[(levels, fat)]
+        assert row["nodes"] == nodes
+        assert row["sampled_max_hops"] == delay
+        assert row["worst_pair_hops"] == delay
+        assert row["bisection"] == bisection
+        assert row["bisection_formula"] == (
+            fat_bisection_links(levels) if fat else thin_bisection_links(levels)
+        )
+    print()
+    print(table1_fractahedron.report(max_levels=3))

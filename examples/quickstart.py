@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's 64-node fat fractahedron, route it,
+certify it deadlock-free, and measure the Table 2 numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import fat_fractahedron, fat_tree, fat_tree_tables, fractahedral_tables
+from repro.deadlock import certify_deadlock_free
+from repro.metrics import cost_summary, hop_stats, worst_case_contention
+from repro.routing import all_pairs_routes, compute_route
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build the 64-node fat fractahedron of Figure 7: eight
+    #    tetrahedrons of 6-port routers, topped by four independent
+    #    level-2 layers (one per corner).
+    # ------------------------------------------------------------------
+    net = fat_fractahedron(levels=2)
+    cost = cost_summary(net)
+    print(f"built {net.name}: {cost.routers} routers, {cost.end_nodes} nodes, "
+          f"{cost.cables} cables")
+
+    # ------------------------------------------------------------------
+    # 2. Compile the fractahedral routing tables (destination-indexed,
+    #    exactly like the real ServerNet router ASIC) and walk one route.
+    # ------------------------------------------------------------------
+    tables = fractahedral_tables(net)
+    route = compute_route(net, tables, "n0", "n63")
+    print(f"route n0 -> n63 crosses {route.router_hops} routers:")
+    print("   " + " -> ".join(route.nodes))
+
+    # ------------------------------------------------------------------
+    # 3. Certify deadlock freedom: all-pairs routes, channel dependency
+    #    graph, acyclicity (Dally & Seitz).
+    # ------------------------------------------------------------------
+    cert = certify_deadlock_free(net, tables)
+    print(f"deadlock-free: {cert.deadlock_free} "
+          f"({cert.num_channels} channels, {cert.num_dependencies} dependencies)")
+
+    # ------------------------------------------------------------------
+    # 4. Measure the Table 2 attributes and compare with a 4-2 fat tree.
+    # ------------------------------------------------------------------
+    routes = all_pairs_routes(net, tables)
+    stats = hop_stats(routes)
+    worst = worst_case_contention(net, routes)
+    print(f"fractahedron: avg hops {stats.mean:.2f} (paper 4.3), "
+          f"worst contention {worst.ratio}")
+
+    ft = fat_tree(3, down=4, up=2)
+    ft_routes = all_pairs_routes(ft, fat_tree_tables(ft))
+    ft_stats = hop_stats(ft_routes)
+    ft_worst = worst_case_contention(ft, ft_routes)
+    print(f"fat tree    : avg hops {ft_stats.mean:.2f} (paper 4.4), "
+          f"worst contention {ft_worst.ratio} -- "
+          f"{cost.routers} vs {cost_summary(ft).routers} routers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scaling fractahedrons from 16 to 8192 CPUs (Table 1 extended).
+
+Builds thin and fat fractahedrons at increasing depth (with the paper's
+fan-out stage pairing CPUs onto the level-1 ports), measuring router
+counts, worst-case delays and bisection against the closed forms -- and
+contrasts the mesh's much faster delay growth (§3.1).
+
+Run:  python examples/scaling_study.py          (N <= 3 measured, N = 4 analytic)
+"""
+
+from repro.core.analysis import (
+    fat_bisection_links,
+    fat_max_router_hops,
+    max_nodes,
+    router_count,
+    thin_bisection_links,
+    thin_max_router_hops,
+)
+from repro.experiments.sec31_mesh import mesh_side_for_nodes
+from repro.experiments.table1_fractahedron import measure_level
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for levels in (1, 2, 3):
+        for fat in (False, True):
+            m = measure_level(levels, fat, sample_pairs=600)
+            rows.append(
+                [
+                    levels,
+                    "fat" if fat else "thin",
+                    m["nodes"],
+                    m["routers"],
+                    f"{m['sampled_max_hops']} (={m['delay_formula']})",
+                    f"{m['bisection']} (={m['bisection_formula']})",
+                ]
+            )
+    # N = 4 would be 8192 CPUs and ~8000 routers; report the closed forms.
+    for fat in (False, True):
+        kind = "fat" if fat else "thin"
+        delay = (fat_max_router_hops(4) if fat else thin_max_router_hops(4)) + 2
+        bisection = fat_bisection_links(4) if fat else thin_bisection_links(4)
+        rows.append(
+            [
+                4,
+                kind + " (analytic)",
+                max_nodes(4),
+                router_count(4, fat, fanout_width=2),
+                delay,
+                bisection,
+            ]
+        )
+    print(
+        format_table(
+            ["N", "kind", "CPUs", "routers", "max delay", "bisection"],
+            rows,
+            title="Fractahedron scaling (Table 1, fan-out stage included)",
+        )
+    )
+
+    print("\nfor contrast, the 2-D mesh's worst-case delay (§3.1):")
+    mesh_rows = []
+    for cpus in (64, 128, 1024, 8192):
+        side = mesh_side_for_nodes(cpus)
+        mesh_rows.append([cpus, f"{side}x{side}", 2 * side - 1])
+    print(format_table(["CPUs", "mesh", "max hops"], mesh_rows))
+    print(
+        "\nat 8192 CPUs the mesh needs 127 router hops worst-case; the fat\n"
+        "fractahedron needs 13 (+2 fan-out) -- the paper's scalability claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The §3.0 study: every way to connect 64 nodes with 6-port routers.
+
+Builds the paper's candidates -- 6x6 mesh, 4-2 fat tree, 3-3 fat tree,
+thin fractahedron, fat fractahedron (the 6-D hypercube is shown to be
+unbuildable) -- routes each one, and prints a unified comparison table:
+routers, cables, max/avg router hops, worst-case contention, bisection,
+and deadlock-freedom.
+
+Run:  python examples/topology_shootout.py
+"""
+
+from repro.core.fractahedron import fat_fractahedron, thin_fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.deadlock.analysis import certify_deadlock_free
+from repro.metrics.bisection import bisection_of_partition
+from repro.metrics.contention import worst_case_contention
+from repro.metrics.cost import cost_summary
+from repro.metrics.hops import hop_stats
+from repro.metrics.report import format_table
+from repro.routing.base import all_pairs_routes
+from repro.routing.dimension_order import dimension_order_tables
+from repro.topology.fattree import fat_tree, fat_tree_tables
+from repro.topology.hypercube import hypercube
+from repro.topology.mesh import mesh
+
+
+def build_all():
+    yield "mesh 6x6", *(
+        lambda n: (n, dimension_order_tables(n, order=(1, 0)))
+    )(mesh((6, 6), nodes_per_router=2))
+    ft = fat_tree(3, down=4, up=2)
+    yield "fat tree 4-2", ft, fat_tree_tables(ft)
+    ft33 = fat_tree(4, down=3, up=3, num_nodes=64)
+    yield "fat tree 3-3", ft33, fat_tree_tables(ft33)
+    thin = thin_fractahedron(2)
+    yield "thin fractahedron", thin, fractahedral_tables(thin)
+    fat = fat_fractahedron(2)
+    yield "fat fractahedron", fat, fractahedral_tables(fat)
+
+
+def main() -> None:
+    print("§3.2 check: can a 64-node hypercube be built from 6-port routers?")
+    try:
+        hypercube(6, nodes_per_router=1, router_radix=6)
+    except ValueError as exc:
+        print(f"  no -- {exc}\n")
+
+    rows = []
+    for name, net, tables in build_all():
+        routes = all_pairs_routes(net, tables)
+        stats = hop_stats(routes)
+        worst = worst_case_contention(net, routes)
+        cost = cost_summary(net)
+        half = [f"n{i}" for i in range(net.num_end_nodes // 2)]
+        bisection = bisection_of_partition(net, half)
+        cert = certify_deadlock_free(net, tables, routes)
+        rows.append(
+            [
+                name,
+                cost.routers,
+                cost.cables,
+                stats.maximum,
+                f"{stats.mean:.2f}",
+                worst.ratio,
+                bisection,
+                "yes" if cert.deadlock_free else "NO",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "topology (64 nodes)",
+                "routers",
+                "cables",
+                "max hops",
+                "avg hops",
+                "contention",
+                "bisection",
+                "deadlock-free",
+            ],
+            rows,
+            title="Connecting 64 nodes with 6-port ServerNet routers (§3.0)",
+        )
+    )
+    print(
+        "\npaper's headline (Table 2): fat tree 12:1 contention with 28 routers;\n"
+        "fat fractahedron cuts contention to 4:1 on its worst layer diagonal\n"
+        "(8:1 over inter-level links) at the cost of 48 routers."
+    )
+
+
+if __name__ == "__main__":
+    main()

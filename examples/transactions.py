@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""ServerNet transactions: remote reads and writes over the fabric.
+
+§1.0's use cases -- "processor to processor, processor to I/O device, or
+I/O device to other I/O devices" -- are transactional: a read sends a
+small request and the target streams the data back; a write pushes the
+data and gets a short acknowledgement.  This example runs mixed
+read/write transaction load on the 64-node fat fractahedron, converts
+simulated cycles to microseconds at the first-generation 50 MB/s link
+rate, and shows the in-order guarantee holding under concurrency.
+
+Run:  python examples/transactions.py
+"""
+
+import numpy as np
+
+from repro.core.fractahedron import fat_fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.servernet.constants import cycles_to_microseconds
+from repro.servernet.transactions import TransactionEngine
+from repro.sim.engine import SimConfig
+
+
+def main() -> None:
+    net = fat_fractahedron(2)
+    tables = fractahedral_tables(net)
+    engine = TransactionEngine(net, tables, SimConfig(buffer_depth=4))
+
+    # A burst of 4 KB reads (CPU pulling disk blocks) and 512 B writes
+    # (CPUs posting I/O commands), at flit = 64 bytes scale: 64-flit and
+    # 8-flit payloads.
+    rng = np.random.default_rng(1996)
+    reads, writes = [], []
+    for k in range(48):
+        cpu = f"n{int(rng.integers(0, 32))}"
+        disk = f"n{int(rng.integers(32, 64))}"
+        if k % 3:
+            reads.append(engine.read(cpu, disk, data_flits=64, at_cycle=k * 2))
+        else:
+            writes.append(engine.write(cpu, disk, data_flits=8, at_cycle=k * 2))
+
+    stats = engine.run(20000)
+    assert engine.all_completed(), "transactions left incomplete"
+
+    flit_bytes = 64  # one flit stands for 64 bytes in this example
+
+    def us(cycles: float) -> float:
+        return cycles_to_microseconds(int(cycles), flit_bytes=flit_bytes)
+
+    read_rtts = [t.round_trip for t in reads]
+    write_rtts = [t.round_trip for t in writes]
+    print(f"{len(reads)} reads of 4 KB + {len(writes)} writes of 512 B over "
+          f"{net.name} ({stats.cycles} cycles simulated)")
+    print(f"  read  round trip: avg {np.mean(read_rtts):7.1f} cycles "
+          f"= {us(np.mean(read_rtts)):6.1f} us   "
+          f"(max {us(max(read_rtts)):6.1f} us)")
+    print(f"  write round trip: avg {np.mean(write_rtts):7.1f} cycles "
+          f"= {us(np.mean(write_rtts)):6.1f} us   "
+          f"(max {us(max(write_rtts)):6.1f} us)")
+    violations = engine.sim.finalize().in_order_violations
+    print(f"  in-order violations: {len(violations)} "
+          "(ServerNet's hardware guarantee -- no reassembly logic needed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets `pip install -e .` work on offline hosts without the
+`wheel` package (falls back to setuptools' legacy develop path)."""
+from setuptools import setup
+
+setup()

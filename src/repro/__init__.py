@@ -1,0 +1,106 @@
+"""repro: a reproduction of "ServerNet Deadlock Avoidance and Fractahedral
+Topologies" (Robert Horst, IPPS 1996).
+
+The package builds ServerNet-style networks of fixed-radix routers,
+compiles deterministic destination-indexed routing tables, certifies
+deadlock freedom via channel-dependency analysis, measures the paper's
+static metrics (contention, hops, bisection, cost), and simulates wormhole
+routing at flit granularity -- including actually deadlocking when the
+routing permits it.
+
+Quick start::
+
+    from repro import fat_fractahedron, fractahedral_tables
+    from repro.deadlock import certify_deadlock_free
+
+    net = fat_fractahedron(levels=2)          # the paper's 64-node network
+    tables = fractahedral_tables(net)
+    assert certify_deadlock_free(net, tables).certified
+"""
+
+from repro.network import (
+    Network,
+    NetworkBuilder,
+    load_fabric,
+    save_fabric,
+    validate_network,
+)
+from repro.topology import (
+    binary_tree,
+    butterfly,
+    cube_connected_cycles,
+    fat_tree,
+    fat_tree_tables,
+    fully_connected_assembly,
+    hypercube,
+    kary_tree,
+    mesh,
+    ring,
+    shuffle_exchange,
+    star,
+    torus,
+)
+from repro.core import (
+    FractaParams,
+    fat_fractahedron,
+    fractahedral_tables,
+    fractahedron,
+    tetrahedron,
+    thin_fractahedron,
+)
+from repro.routing import (
+    RouteSet,
+    RoutingTable,
+    all_pairs_routes,
+    compute_route,
+    dimension_order_tables,
+    ecube_tables,
+    shortest_path_tables,
+)
+from repro.deadlock import certify_deadlock_free, channel_dependency_graph
+from repro.metrics import (
+    cost_summary,
+    hop_stats,
+    worst_case_contention,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FractaParams",
+    "Network",
+    "NetworkBuilder",
+    "RouteSet",
+    "RoutingTable",
+    "all_pairs_routes",
+    "binary_tree",
+    "butterfly",
+    "certify_deadlock_free",
+    "channel_dependency_graph",
+    "compute_route",
+    "cost_summary",
+    "cube_connected_cycles",
+    "dimension_order_tables",
+    "ecube_tables",
+    "fat_fractahedron",
+    "fat_tree",
+    "fat_tree_tables",
+    "fractahedral_tables",
+    "fractahedron",
+    "fully_connected_assembly",
+    "hop_stats",
+    "hypercube",
+    "kary_tree",
+    "load_fabric",
+    "mesh",
+    "ring",
+    "save_fabric",
+    "shortest_path_tables",
+    "shuffle_exchange",
+    "star",
+    "tetrahedron",
+    "thin_fractahedron",
+    "torus",
+    "validate_network",
+    "worst_case_contention",
+]

@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+Usage (installed as ``fractanet`` or via ``python -m repro``)::
+
+    fractanet experiments                 # list experiment ids
+    fractanet run table2                  # print one experiment's report
+    fractanet run all                     # run every experiment
+    fractanet topologies                  # list topology builders
+    fractanet build fat_fractahedron --param levels=2   # build & summarize
+    fractanet certify fat_fractahedron --param levels=2 # deadlock certification
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+__all__ = ["main"]
+
+
+def _parse_params(pairs: list[str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}; expected key=value")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = eval(value, {"__builtins__": {}})  # noqa: S307 - literals
+        except Exception:
+            params[key] = value
+    return params
+
+
+def _routing_for(net):
+    """Pick the matching routing algorithm for a built topology."""
+    from repro.core.routing import fractahedral_tables
+    from repro.routing.dimension_order import dimension_order_tables
+    from repro.routing.ecube import ecube_tables
+    from repro.routing.shortest_path import shortest_path_tables
+    from repro.topology.butterfly import butterfly_tables
+    from repro.topology.fattree import fat_tree_tables
+
+    topology = net.attrs.get("topology", "")
+    if topology == "butterfly":
+        return butterfly_tables(net)
+    if "fractahedron" in topology:
+        return fractahedral_tables(net)
+    if topology == "fat_tree":
+        return fat_tree_tables(net)
+    if topology in ("mesh", "torus", "ring"):
+        return dimension_order_tables(net)
+    if topology == "hypercube":
+        return ecube_tables(net)
+    return shortest_path_tables(net)
+
+
+def cmd_experiments(_args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    for name, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:12s} {doc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = ALL_EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; try 'fractanet experiments'")
+            return 1
+        print(module.report())
+        print()
+    return 0
+
+
+def cmd_topologies(_args) -> int:
+    from repro.topology.registry import available_topologies
+
+    for name in available_topologies():
+        print(name)
+    return 0
+
+
+def cmd_build(args) -> int:
+    from repro.metrics.cost import cost_summary
+    from repro.network.validate import validate_network
+    from repro.topology.registry import build_topology
+
+    net = build_topology(args.topology, **_parse_params(args.param))
+    cost = cost_summary(net)
+    issues = validate_network(net)
+    print(f"{net.name}: {cost.routers} routers, {cost.end_nodes} end nodes, "
+          f"{cost.cables} cables ({cost.router_cables} router-router)")
+    print(f"port utilization: {cost.port_utilization * 100:.0f}%")
+    for issue in issues:
+        print(f"  {issue}")
+    if getattr(args, "save", None):
+        from repro.network.serialize import save_fabric
+
+        save_fabric(args.save, net, _routing_for(net))
+        print(f"saved fabric configuration to {args.save}")
+    return 0 if not any(i.severity == "error" for i in issues) else 1
+
+
+def cmd_reproduce(args) -> int:
+    from repro.experiments.summary import reproduce, transcript, write_results
+
+    record = reproduce()
+    print(transcript(record))
+    if args.out:
+        write_results(args.out, record)
+        print(f"\nwrote {args.out}")
+    return 0 if record["all_passed"] else 1
+
+
+def cmd_inspect(args) -> int:
+    from repro.deadlock.analysis import certify_deadlock_free
+    from repro.metrics.cost import cost_summary
+    from repro.network.serialize import load_fabric
+
+    net, tables, disables = load_fabric(args.file)
+    cost = cost_summary(net)
+    print(f"{net.name}: {cost.routers} routers, {cost.end_nodes} end nodes, "
+          f"{cost.cables} cables")
+    if disables is not None:
+        print(f"disabled turns: {len(disables)}")
+    if tables is not None:
+        result = certify_deadlock_free(net, tables)
+        print(f"routing: deliverable={result.deliverable} "
+              f"deadlock_free={result.deadlock_free}")
+        return 0 if result.certified else 1
+    print("no routing tables in file")
+    return 0
+
+
+def cmd_show(args) -> int:
+    from repro.topology.registry import build_topology
+    from repro.viz import render
+
+    net = build_topology(args.topology, **_parse_params(args.param))
+    print(render(net))
+    return 0
+
+
+def cmd_certify(args) -> int:
+    from repro.deadlock.analysis import certify_deadlock_free
+    from repro.topology.registry import build_topology
+
+    net = build_topology(args.topology, **_parse_params(args.param))
+    tables = _routing_for(net)
+    result = certify_deadlock_free(net, tables)
+    print(
+        f"{net.name}: deliverable={result.deliverable} "
+        f"deadlock_free={result.deadlock_free} "
+        f"({result.num_channels} channels, {result.num_dependencies} dependencies)"
+    )
+    if result.sample_cycle:
+        print("  sample cycle: " + " -> ".join(result.sample_cycle[:6]))
+    for failure in result.failures:
+        print(f"  {failure}")
+    return 0 if result.certified else 1
+
+
+def cmd_simulate(args) -> int:
+    from repro.experiments.future_simulation import simulate_load_point
+    from repro.topology.registry import build_topology
+
+    net = build_topology(args.topology, **_parse_params(args.param))
+    tables = _routing_for(net)
+    point = simulate_load_point(
+        net, tables, rate=args.rate, cycles=args.cycles, packet_size=args.packet_size
+    )
+    print(
+        f"{net.name} @ rate {args.rate}: accepted "
+        f"{point['accepted_flits_per_node_cycle']:.4f} flits/node/cycle, "
+        f"avg latency {point['avg_latency']:.1f}, p99 {point['p99_latency']:.1f}"
+        + (" DEADLOCK" if point["deadlocked"] else "")
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fractanet",
+        description="ServerNet fractahedral-topology reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiments").set_defaults(
+        func=cmd_experiments
+    )
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment")
+    run_p.set_defaults(func=cmd_run)
+
+    sub.add_parser("topologies", help="list topology builders").set_defaults(
+        func=cmd_topologies
+    )
+
+    for name, fn, extra in (
+        ("build", cmd_build, False),
+        ("show", cmd_show, False),
+        ("certify", cmd_certify, False),
+        ("simulate", cmd_simulate, True),
+    ):
+        p = sub.add_parser(name)
+        p.add_argument("topology")
+        p.add_argument("--param", action="append", default=[], metavar="key=value")
+        if name == "build":
+            p.add_argument("--save", metavar="FILE",
+                           help="write the fabric (with routing) as JSON")
+        if extra:
+            p.add_argument("--rate", type=float, default=0.01)
+            p.add_argument("--cycles", type=int, default=3000)
+            p.add_argument("--packet-size", type=int, default=8)
+        p.set_defaults(func=fn)
+
+    inspect_p = sub.add_parser("inspect", help="load and certify a saved fabric")
+    inspect_p.add_argument("file")
+    inspect_p.set_defaults(func=cmd_inspect)
+
+    repro_p = sub.add_parser(
+        "reproduce", help="run every experiment and check the paper's numbers"
+    )
+    repro_p.add_argument("--out", metavar="FILE", default=None,
+                         help="also write a machine-readable JSON record")
+    repro_p.set_defaults(func=cmd_reproduce)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

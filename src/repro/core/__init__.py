@@ -1,0 +1,56 @@
+"""The paper's contribution: fractahedral topologies and their routing.
+
+A *fractahedron* is a self-similar hierarchy of fully-connected 4-router
+tetrahedrons (§2.2-§2.4).  Each router splits its six ports 2-3-1: two
+down (end nodes or lower-level tetrahedrons), three across its own
+tetrahedron, one up.  *Thin* fractahedrons run a single link from each
+tetrahedron to the next level; *fat* fractahedrons replicate each higher
+level into independent layers, one per corner, multiplying bisection
+bandwidth while keeping routing loop-free.
+"""
+
+from repro.core.tetrahedron import tetrahedron
+from repro.core.addressing import FractaAddress, decode_address, encode_address
+from repro.core.fractahedron import (
+    FractaParams,
+    fat_fractahedron,
+    fractahedron,
+    thin_fractahedron,
+)
+from repro.core.generalized import (
+    GeneralFractaParams,
+    general_fractahedron,
+    general_tables,
+)
+from repro.core.routing import fractahedral_tables
+from repro.core.analysis import (
+    expected_avg_router_hops_64,
+    fat_bisection_links,
+    fat_max_router_hops,
+    max_nodes,
+    router_count,
+    thin_bisection_links,
+    thin_max_router_hops,
+)
+
+__all__ = [
+    "FractaAddress",
+    "FractaParams",
+    "GeneralFractaParams",
+    "decode_address",
+    "encode_address",
+    "expected_avg_router_hops_64",
+    "fat_bisection_links",
+    "fat_fractahedron",
+    "fat_max_router_hops",
+    "fractahedral_tables",
+    "fractahedron",
+    "general_fractahedron",
+    "general_tables",
+    "max_nodes",
+    "router_count",
+    "tetrahedron",
+    "thin_bisection_links",
+    "thin_fractahedron",
+    "thin_max_router_hops",
+]

@@ -1,0 +1,136 @@
+"""Hierarchical fractahedral node addressing.
+
+The paper's routing "*routes packets based on exactly two bits of the
+destination node identifier*" inside a tetrahedron, and "*each tetrahedron
+encountered matches three more bits of the address*" (§2.2-§2.3).  That is
+exactly the layout below (most-significant first):
+
+    [ child index at level N ] ... [ child index at level 2 ]   3 bits each
+    [ corner within the level-1 tetrahedron ]                   2 bits
+    [ down port on the corner router ]                          1 bit
+    [ node on the fan-out router ]                              1 bit (opt)
+
+so a node's integer id *is* its routing directions.  The routers still
+forward via routing tables (as real ServerNet does), but the tables are
+generated from these fields, and tests assert the bit-matching view and
+the table view agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FractaAddress", "encode_address", "decode_address"]
+
+#: Children per group: a tetrahedron's 4 corners x 2 down ports.
+CHILDREN_PER_GROUP = 8
+CORNERS = 4
+DOWN_PORTS = 2
+
+
+@dataclass(frozen=True)
+class FractaAddress:
+    """Structured form of a fractahedral node id.
+
+    Attributes:
+        levels: total hierarchy levels N.
+        child_path: child index (0..7) at levels N, N-1, ..., 2 -- empty for
+            a single-tetra system.
+        corner: corner (0..3) within the level-1 tetrahedron.
+        port: down port (0..1) on the corner router.
+        fanout_index: node index on the fan-out router, or None when nodes
+            attach directly.
+        fanout_width: nodes per fan-out router (2 in the paper's 16-CPU
+            example).
+    """
+
+    levels: int
+    child_path: tuple[int, ...]
+    corner: int
+    port: int
+    fanout_index: int | None = None
+    fanout_width: int = 2
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if len(self.child_path) != self.levels - 1:
+            raise ValueError(
+                f"child_path length {len(self.child_path)} != levels-1 = {self.levels - 1}"
+            )
+        if any(not 0 <= c < CHILDREN_PER_GROUP for c in self.child_path):
+            raise ValueError(f"child indices must be 0..7, got {self.child_path}")
+        if not 0 <= self.corner < CORNERS:
+            raise ValueError(f"corner must be 0..3, got {self.corner}")
+        if not 0 <= self.port < DOWN_PORTS:
+            raise ValueError(f"port must be 0..1, got {self.port}")
+        if self.fanout_index is not None and not 0 <= self.fanout_index < self.fanout_width:
+            raise ValueError(
+                f"fanout_index must be 0..{self.fanout_width - 1}, got {self.fanout_index}"
+            )
+
+    @property
+    def tetra_index(self) -> int:
+        """Global level-1 tetrahedron index (the child path read as octal)."""
+        index = 0
+        for child in self.child_path:
+            index = index * CHILDREN_PER_GROUP + child
+        return index
+
+    def group_index(self, level: int) -> int:
+        """Global group index at the given level (level 1 = tetra index)."""
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level must be 1..{self.levels}")
+        return self.tetra_index // (CHILDREN_PER_GROUP ** (level - 1))
+
+    def child_at_level(self, level: int) -> int:
+        """This node's child index within its level-``level`` group (2..N)."""
+        if not 2 <= level <= self.levels:
+            raise ValueError(f"level must be 2..{self.levels}")
+        return self.group_index(level - 1) % CHILDREN_PER_GROUP
+
+
+def encode_address(addr: FractaAddress) -> int:
+    """Pack a structured address into the node's integer id."""
+    value = addr.tetra_index
+    value = value * CORNERS + addr.corner
+    value = value * DOWN_PORTS + addr.port
+    if addr.fanout_index is not None:
+        value = value * addr.fanout_width + addr.fanout_index
+    return value
+
+
+def decode_address(
+    value: int,
+    levels: int,
+    fanout_width: int | None = None,
+) -> FractaAddress:
+    """Unpack an integer node id (inverse of :func:`encode_address`).
+
+    Args:
+        value: the node id.
+        levels: hierarchy levels N.
+        fanout_width: nodes per fan-out router, or None when nodes attach
+            directly to the tetrahedron routers.
+    """
+    if value < 0:
+        raise ValueError("node ids are non-negative")
+    fanout_index = None
+    if fanout_width is not None:
+        value, fanout_index = divmod(value, fanout_width)
+    value, port = divmod(value, DOWN_PORTS)
+    tetra, corner = divmod(value, CORNERS)
+    path: list[int] = []
+    for _ in range(levels - 1):
+        tetra, child = divmod(tetra, CHILDREN_PER_GROUP)
+        path.append(child)
+    if tetra:
+        raise ValueError("node id exceeds the capacity of the given level count")
+    return FractaAddress(
+        levels=levels,
+        child_path=tuple(reversed(path)),
+        corner=corner,
+        port=port,
+        fanout_index=fanout_index,
+        fanout_width=fanout_width or 2,
+    )

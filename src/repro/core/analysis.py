@@ -1,0 +1,97 @@
+"""Closed-form fractahedron parameters (Table 1) and derived quantities.
+
+These are the analytic columns the paper tabulates for N-level 2-3-1
+fractahedrons; the ``table1`` benchmark cross-checks them against graph
+measurements on actually-built networks.
+
+OCR notes (the scanned table is partly garbled; EXPERIMENTS.md derives
+each resolution):
+
+* *Maximum nodes* ``2 * 8**N`` assumes the one-level fan-out stage that
+  pairs CPUs onto the level-1 down ports (16 CPUs at one level, 1024 at
+  three).
+* *Maximum delays*: ``4N - 2`` (thin) and ``3N - 1`` (fat) count routers
+  traversed **excluding** the fan-out stage, as the paper's footnote says
+  ("the delay equations do not include any additional delays added between
+  an end node and the first level tetrahedron"); adding the two fan-out
+  hops recovers the text's 12 and 10 router delays for 1024 CPUs.
+* *Bisection*: thin is fixed at 4 links; the fat column is read as
+  ``4**N`` links (cutting each of the ``4**(N-1)`` top-level layers costs
+  4 links), which matches graph min-cuts; the literal OCR "4N" does not.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import CHILDREN_PER_GROUP, CORNERS, DOWN_PORTS
+
+__all__ = [
+    "expected_avg_router_hops_64",
+    "fat_bisection_links",
+    "fat_max_router_hops",
+    "max_nodes",
+    "router_count",
+    "thin_bisection_links",
+    "thin_max_router_hops",
+]
+
+
+def max_nodes(levels: int, fanout_width: int | None = 2) -> int:
+    """Maximum end nodes of an N-level fractahedron (Table 1: ``2*8**N``)."""
+    per_port = fanout_width if fanout_width else 1
+    return per_port * DOWN_PORTS * CORNERS * CHILDREN_PER_GROUP ** (levels - 1)
+
+
+def thin_bisection_links(levels: int) -> int:  # noqa: ARG001 - signature parity
+    """Thin fractahedron bisection: four links at every size (Table 1)."""
+    return 4
+
+
+def fat_bisection_links(levels: int) -> int:
+    """Fat fractahedron bisection, read as ``4**N`` links (see module doc)."""
+    return CORNERS**levels
+
+
+def thin_max_router_hops(levels: int, include_fanout: bool = False) -> int:
+    """Worst-case routers traversed in a thin fractahedron (``4N - 2``).
+
+    Ascent may need a lateral hop to reach corner 0 at every level below
+    the top, the turn costs up to two routers, and descent needs a lateral
+    per level to reach the owning corner.
+    """
+    hops = 4 * levels - 2
+    return hops + 2 if include_fanout else hops
+
+
+def fat_max_router_hops(levels: int, include_fanout: bool = False) -> int:
+    """Worst-case routers traversed in a fat fractahedron (``3N - 1``).
+
+    Packets ascend straight up (one router per level) and descend with at
+    most one lateral per level: ``(N - 1) + 2N = 3N - 1``.
+    """
+    hops = 3 * levels - 1
+    return hops + 2 if include_fanout else hops
+
+
+def router_count(levels: int, fat: bool, fanout_width: int | None = None) -> int:
+    """Routers in an N-level fractahedron (including fan-out routers)."""
+    total = 0
+    for level in range(1, levels + 1):
+        groups = CHILDREN_PER_GROUP ** (levels - level)
+        layers = CORNERS ** (level - 1) if fat else 1
+        total += groups * layers * CORNERS
+    if fanout_width:
+        total += CHILDREN_PER_GROUP ** (levels - 1) * CORNERS * DOWN_PORTS
+    return total
+
+
+def expected_avg_router_hops_64() -> float:
+    """Analytic average router hops of the 64-node fat fractahedron.
+
+    Per destination class from any source node: 1 node shares the router
+    (1 hop), 6 share the tetrahedron (2 hops), 8 sit under the partner
+    tetrahedron served by the same layer-entry router (3 or 4 hops), and
+    48 need a lateral inside the layer (4 or 5 hops).  Averaging gives
+    271/63 = 4.30, the paper's Table 2 value of 4.3.
+    """
+    total = 1 * 1 + 6 * 2 + (2 * 3 + 6 * 4) + 6 * (2 * 4 + 6 * 5)
+    return total / 63

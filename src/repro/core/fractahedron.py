@@ -1,0 +1,150 @@
+"""Thin and fat fractahedron builders (§2.2-§2.3, Figures 5 and 7).
+
+This module is the paper's concrete instance -- tetrahedral assemblies of
+6-port routers with the 2-3-1 port split -- expressed as a specialization
+of the parametric engine in :mod:`repro.core.generalized` (the conclusion's
+"other fully connected groups of N-port routers").
+
+Structure
+---------
+Level 1 is a field of tetrahedrons; each corner router uses its two *down*
+ports for end nodes (directly, or through one fan-out router per port as in
+the paper's 16-CPU example), its three *intra* ports for the other corners,
+and its one *up* port for the hierarchy.  Eight level-(k-1) groups combine
+into one level-k group:
+
+* **thin** (Figure 5): every group sends a single up link -- from corner 0
+  of its (only) tetrahedron -- to the next level, which is again a single
+  tetrahedron.  Three of the four corners' up ports stay unused, and the
+  bisection bandwidth is pinned at four links.
+* **fat** (§2.3, Figure 7): every router's up port is used.  A level-k
+  group consists of ``4**(k-1)`` independent *layers* (tetrahedrons that
+  are "nested inside each other, but not connected to each other").
+  Corner ``c`` of a layer owns the pair of child groups ``2c`` and
+  ``2c+1``; a child ascending from its layer ``m``, corner ``g`` enters
+  parent layer ``4*m + g``.  For level 2 this is exactly the paper's
+  cabling: "each corner of the 4-layer tetrahedron has a pair of
+  four-conductor cables ... each of these cables connects to the four
+  corners of a different level 1 tetrahedron."
+
+The top level's up ports are always left unconnected, matching the paper's
+reservation of the topmost links for future expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.addressing import CHILDREN_PER_GROUP, CORNERS, DOWN_PORTS
+from repro.core.generalized import (
+    GeneralFractaParams,
+    general_fanout_id,
+    general_fractahedron,
+    general_router_id,
+)
+from repro.network.graph import Network
+
+__all__ = [
+    "FractaParams",
+    "fat_fractahedron",
+    "fractahedron",
+    "router_id",
+    "fanout_id",
+    "thin_fractahedron",
+]
+
+#: The 2-3-1 split is a property of the 6-port first-generation ASIC.
+ROUTER_RADIX = 6
+
+
+@dataclass(frozen=True)
+class FractaParams:
+    """Shape parameters of a (paper-exact, 6-port, 2-3-1) fractahedron."""
+
+    levels: int
+    fat: bool = True
+    fanout_width: int | None = None  # nodes per fan-out router, None = direct
+    router_radix: int = ROUTER_RADIX
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if self.router_radix != ROUTER_RADIX:
+            raise ValueError(
+                "the 2-3-1 split is defined for 6-port routers; use "
+                "repro.core.generalized.GeneralFractaParams for other radices"
+            )
+        if self.fanout_width is not None and self.fanout_width < 1:
+            raise ValueError("fanout_width must be >= 1")
+
+    def general(self) -> GeneralFractaParams:
+        """The equivalent parametric shape (M=4 assemblies of radix 6)."""
+        return GeneralFractaParams(
+            levels=self.levels,
+            assembly_size=CORNERS,
+            router_radix=self.router_radix,
+            fat=self.fat,
+            fanout_width=self.fanout_width,
+        )
+
+    @property
+    def num_tetras(self) -> int:
+        return CHILDREN_PER_GROUP ** (self.levels - 1)
+
+    @property
+    def num_nodes(self) -> int:
+        per_port = self.fanout_width if self.fanout_width else 1
+        return self.num_tetras * CORNERS * DOWN_PORTS * per_port
+
+    def layers_at(self, level: int) -> int:
+        """Independent layers at a level (1 for thin, 4**(k-1) for fat)."""
+        return CORNERS ** (level - 1) if self.fat else 1
+
+    def groups_at(self, level: int) -> int:
+        return CHILDREN_PER_GROUP ** (self.levels - level)
+
+
+#: Canonical router / fan-out ids (shared with the generalized engine).
+router_id = general_router_id
+fanout_id = general_fanout_id
+
+
+def fractahedron(params: FractaParams) -> Network:
+    """Build a fractahedron from shape parameters.
+
+    Router attrs: ``level``, ``group`` (global index at its level),
+    ``layer``, ``corner``; fan-out routers carry ``fanout=True`` plus
+    ``tetra``/``corner``/``port``.  End nodes are ``n{i}`` with ``i`` the
+    fractahedral address of :mod:`repro.core.addressing`.
+    """
+    return general_fractahedron(params.general())
+
+
+def fat_fractahedron(
+    levels: int,
+    fanout_width: int | None = None,
+    router_radix: int = ROUTER_RADIX,
+) -> Network:
+    """Build a fat fractahedron (§2.3).
+
+    ``fat_fractahedron(2)`` is the 64-node, 48-router network of Figure 7
+    and Table 2; ``fat_fractahedron(3, fanout_width=2)`` is the paper's
+    1024-CPU system with ten worst-case router delays.
+    """
+    return fractahedron(FractaParams(levels, fat=True, fanout_width=fanout_width,
+                                     router_radix=router_radix))
+
+
+def thin_fractahedron(
+    levels: int,
+    fanout_width: int | None = None,
+    router_radix: int = ROUTER_RADIX,
+) -> Network:
+    """Build a thin fractahedron (Figure 5).
+
+    ``thin_fractahedron(3, fanout_width=2)`` is the paper's 1024-CPU thin
+    system with twelve worst-case router delays and bisection fixed at
+    four links.
+    """
+    return fractahedron(FractaParams(levels, fat=False, fanout_width=fanout_width,
+                                     router_radix=router_radix))

@@ -1,0 +1,321 @@
+"""Generalized fractahedrons: hierarchies of M-router assemblies.
+
+The paper's conclusion: "The current focus is on tetrahedral ensembles of
+6-port ServerNet routers, but the concepts easily generalize to other
+fully connected groups of N-port routers."  This module is that
+generalization.  An assembly of ``M`` fully-connected routers of radix
+``R`` splits each router's ports ``d``-``(M-1)``-``1``:
+
+* ``d = R - M`` down ports (end nodes or child groups),
+* ``M - 1`` intra-assembly ports,
+* one up port.
+
+A group at level ``k`` has ``M ** (k-1)`` independent layers when *fat*
+(one per corner, recursively) or a single assembly when *thin* (only
+corner 0 connects upward).  Each group adopts ``M * d`` children; corner
+``c`` of every layer owns children ``c*d .. c*d + d - 1``.  Ascending
+from layer ``m``, corner ``c`` lands in parent layer ``m*M + c``;
+descending from parent layer ``L`` lands in child layer ``L // M`` at
+corner ``L % M``.  With ``M = 4`` and ``R = 6`` this is exactly the
+paper's 2-3-1 fractahedron; :mod:`repro.core.fractahedron` delegates
+here.
+
+Routing follows §2.3 verbatim, generalized: ascend on the local
+inter-level link (thin: via corner 0), match ``log2(M*d)`` address bits
+per level on the way down with at most one lateral per assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+from repro.routing.base import RoutingError, RoutingTable
+
+__all__ = [
+    "GeneralFractaParams",
+    "general_fanout_id",
+    "general_fractahedron",
+    "general_router_id",
+    "general_tables",
+]
+
+
+@dataclass(frozen=True)
+class GeneralFractaParams:
+    """Shape of a generalized fractahedron.
+
+    Attributes:
+        levels: hierarchy depth N (level 1 = the leaf assemblies).
+        assembly_size: routers per fully-connected assembly (M >= 2).
+        router_radix: ports per router; must leave at least one down port
+            and one up port after the M-1 intra links.
+        fat: replicate higher levels into layers (True) or run one up
+            link per group (False).
+        fanout_width: nodes per fan-out router on each down port, or None
+            to attach end nodes directly.
+    """
+
+    levels: int
+    assembly_size: int = 4
+    router_radix: int = 6
+    fat: bool = True
+    fanout_width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if self.assembly_size < 2:
+            raise ValueError("assembly_size must be >= 2")
+        if self.down_ports < 1:
+            raise ValueError(
+                f"radix {self.router_radix} leaves no down ports for "
+                f"M={self.assembly_size} (needs M-1 intra + 1 up + >=1 down)"
+            )
+        if self.fanout_width is not None and self.fanout_width < 1:
+            raise ValueError("fanout_width must be >= 1")
+
+    @property
+    def corners(self) -> int:
+        return self.assembly_size
+
+    @property
+    def down_ports(self) -> int:
+        """Down ports per router: radix - (M-1) intra - 1 up."""
+        return self.router_radix - self.assembly_size
+
+    @property
+    def children_per_group(self) -> int:
+        return self.assembly_size * self.down_ports
+
+    @property
+    def num_leaf_groups(self) -> int:
+        return self.children_per_group ** (self.levels - 1)
+
+    @property
+    def num_nodes(self) -> int:
+        per_port = self.fanout_width if self.fanout_width else 1
+        return self.num_leaf_groups * self.children_per_group * per_port
+
+    def layers_at(self, level: int) -> int:
+        return self.assembly_size ** (level - 1) if self.fat else 1
+
+    def groups_at(self, level: int) -> int:
+        return self.children_per_group ** (self.levels - level)
+
+    def router_count(self) -> int:
+        total = 0
+        for level in range(1, self.levels + 1):
+            total += self.groups_at(level) * self.layers_at(level) * self.assembly_size
+        if self.fanout_width:
+            total += self.num_leaf_groups * self.children_per_group
+        return total
+
+
+def general_router_id(level: int, group: int, layer: int, corner: int) -> str:
+    """Canonical router id (shared with the 2-3-1 specialization)."""
+    return f"L{level}.G{group}.Y{layer}.C{corner}"
+
+
+def general_fanout_id(tetra: int, corner: int, port: int) -> str:
+    """Canonical fan-out router id."""
+    return f"FO.T{tetra}.C{corner}.P{port}"
+
+
+def general_fractahedron(params: GeneralFractaParams) -> Network:
+    """Build a generalized fractahedron.
+
+    Router attrs: ``level``, ``group``, ``layer``, ``corner``; the network
+    carries the full parameter set for the routing compiler.
+    """
+    m = params.assembly_size
+    d = params.down_ports
+    cpg = params.children_per_group
+    kind = ("fat" if params.fat else "thin") + "_fractahedron"
+    name = f"{kind}-N{params.levels}"
+    if m != 4 or params.router_radix != 6:
+        kind = "general_" + kind
+        name = f"{kind}-N{params.levels}-M{m}-R{params.router_radix}"
+    b = NetworkBuilder(name, params.router_radix)
+    net = b.net
+    net.attrs["topology"] = kind
+    net.attrs["levels"] = params.levels
+    net.attrs["fat"] = params.fat
+    net.attrs["fanout_width"] = params.fanout_width
+    net.attrs["assembly_size"] = m
+    net.attrs["down_ports"] = d
+
+    # --- routers ------------------------------------------------------
+    for level in range(1, params.levels + 1):
+        for group in range(params.groups_at(level)):
+            for layer in range(params.layers_at(level)):
+                for corner in range(m):
+                    b.router(
+                        general_router_id(level, group, layer, corner),
+                        level=level,
+                        group=group,
+                        layer=layer,
+                        corner=corner,
+                    )
+
+    # --- end nodes / fan-out stage --------------------------------------
+    node_index = 0
+    for tetra in range(params.num_leaf_groups):
+        for corner in range(m):
+            rid = general_router_id(1, tetra, 0, corner)
+            for port in range(d):
+                if params.fanout_width:
+                    fo = b.router(
+                        general_fanout_id(tetra, corner, port),
+                        fanout=True,
+                        tetra=tetra,
+                        corner=corner,
+                        port=port,
+                    )
+                    b.cable(fo, rid, kind="fanout_up")
+                    for _ in range(params.fanout_width):
+                        nid = b.end_node(f"n{node_index}", address=node_index)
+                        b.cable(nid, fo)
+                        node_index += 1
+                else:
+                    nid = b.end_node(f"n{node_index}", address=node_index)
+                    b.cable(nid, rid)
+                    node_index += 1
+
+    # --- intra-assembly links --------------------------------------------
+    for level in range(1, params.levels + 1):
+        for group in range(params.groups_at(level)):
+            for layer in range(params.layers_at(level)):
+                b.fully_connect(
+                    [general_router_id(level, group, layer, c) for c in range(m)],
+                    kind="intra",
+                )
+
+    # --- inter-level links ------------------------------------------------
+    for level in range(1, params.levels):
+        for group in range(params.groups_at(level)):
+            parent_group, position = divmod(group, cpg)
+            parent_corner, parent_port = divmod(position, d)
+            for layer in range(params.layers_at(level)):
+                for corner in range(m):
+                    if not params.fat and corner != 0:
+                        continue
+                    parent_layer = layer * m + corner if params.fat else 0
+                    b.cable(
+                        general_router_id(level, group, layer, corner),
+                        general_router_id(
+                            level + 1, parent_group, parent_layer, parent_corner
+                        ),
+                        kind="interlevel",
+                        child_group=group,
+                        child_position=position,
+                    )
+    return net
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+
+
+def _decode(value: int, params: GeneralFractaParams) -> tuple[int, int, int]:
+    """Node id -> (leaf group index, corner, down port)."""
+    if params.fanout_width:
+        value //= params.fanout_width
+    value, port = divmod(value, params.down_ports)
+    tetra, corner = divmod(value, params.corners)
+    return tetra, corner, port
+
+
+def general_tables(net: Network) -> RoutingTable:
+    """Compile depth-first routing tables for a generalized fractahedron."""
+    levels = net.attrs.get("levels")
+    fat = net.attrs.get("fat")
+    m = net.attrs.get("assembly_size")
+    d = net.attrs.get("down_ports")
+    fanout = net.attrs.get("fanout_width")
+    if levels is None or m is None:
+        raise RoutingError("network lacks generalized-fractahedron attributes")
+    cpg = m * d
+    params = GeneralFractaParams(
+        levels, assembly_size=m, router_radix=net.attrs["router_radix"],
+        fat=fat, fanout_width=fanout,
+    )
+
+    tables = RoutingTable()
+    for dest in net.end_node_ids():
+        address = net.node(dest).attrs["address"]
+        dest_tetra, dest_corner, dest_port = _decode(address, params)
+
+        if fanout:
+            for router in net.routers():
+                if not router.attrs.get("fanout"):
+                    continue
+                rid = router.node_id
+                if (
+                    router.attrs["tetra"] == dest_tetra
+                    and router.attrs["corner"] == dest_corner
+                    and router.attrs["port"] == dest_port
+                ):
+                    tables.set(rid, dest, _port_to(net, rid, dest))
+                else:
+                    up = general_router_id(1, router.attrs["tetra"], 0, router.attrs["corner"])
+                    tables.set(rid, dest, _port_to(net, rid, up))
+
+        for router in net.routers():
+            if router.attrs.get("fanout"):
+                continue
+            rid = router.node_id
+            level = router.attrs["level"]
+            group = router.attrs["group"]
+            layer = router.attrs["layer"]
+            corner = router.attrs["corner"]
+            dest_group = dest_tetra // (cpg ** (level - 1))
+            if dest_group == group:
+                port = _descend(
+                    net, rid, level, group, layer, corner,
+                    dest_tetra, dest_corner, dest_port, address,
+                    m, d, cpg, fanout,
+                )
+            else:
+                port = _ascend(net, rid, level, group, layer, corner, fat, m, cpg, d)
+            tables.set(rid, dest, port)
+    return tables
+
+
+def _descend(
+    net, rid, level, group, layer, corner,
+    dest_tetra, dest_corner, dest_port, address,
+    m, d, cpg, fanout,
+) -> int:
+    if level == 1:
+        if corner != dest_corner:
+            return _port_to(net, rid, general_router_id(1, group, 0, dest_corner))
+        if fanout:
+            return _port_to(net, rid, general_fanout_id(group, corner, dest_port))
+        return _port_to(net, rid, f"n{address}")
+    child = (dest_tetra // (cpg ** (level - 2))) % cpg
+    owner = child // d
+    if corner != owner:
+        return _port_to(net, rid, general_router_id(level, group, layer, owner))
+    child_group = group * cpg + child
+    child_router = general_router_id(level - 1, child_group, layer // m, layer % m)
+    return _port_to(net, rid, child_router)
+
+
+def _ascend(net, rid, level, group, layer, corner, fat, m, cpg, d) -> int:
+    if not fat and corner != 0:
+        return _port_to(net, rid, general_router_id(level, group, layer, 0))
+    parent_group, position = divmod(group, cpg)
+    parent_corner = position // d
+    parent_layer = layer * m + corner if fat else 0
+    parent = general_router_id(level + 1, parent_group, parent_layer, parent_corner)
+    return _port_to(net, rid, parent)
+
+
+def _port_to(net: Network, src: str, dst: str) -> int:
+    links = net.links_between(src, dst)
+    if not links:
+        raise RoutingError(f"no link {src!r} -> {dst!r}")
+    return links[0].src_port

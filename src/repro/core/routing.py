@@ -1,0 +1,39 @@
+"""Fractahedral routing (§2.3-§2.4).
+
+Depth-first on the destination address, compiled into ServerNet-style
+destination-indexed routing tables:
+
+* **Ascent**: if the destination's high-order address bits do not match the
+  current group, send the packet up.  In a fat fractahedron every router
+  has its own up link, so "packets always go straight up the tree without
+  taking any inter-tetrahedral links"; in a thin fractahedron only corner 0
+  has an up link, so ascent may take one lateral hop per level.
+* **Descent**: each group matches three more address bits (the child index
+  0..7).  Corner ``c`` owns children ``2c`` and ``2c+1``; reaching the
+  owning corner costs at most one lateral hop, then the packet drops a
+  level.  Descending from layer ``m`` lands in child layer ``m // 4`` at
+  corner ``m % 4`` -- layers are never switched (they are not even
+  connected), which is what kills every would-be loop: the route is a pure
+  up-phase followed by a pure down-phase with at most one lateral per tetra
+  visit, so the channel dependency graph is acyclic (§2.4).
+
+The tables only ever use the "local inter-level link rather than going
+through a neighboring inter-level link", exactly the paper's rule.  The
+compiler itself lives in :mod:`repro.core.generalized`, parameterized over
+assembly size; this wrapper keeps the paper-facing name.
+"""
+
+from __future__ import annotations
+
+from repro.core.generalized import general_tables
+from repro.network.graph import Network
+from repro.routing.base import RoutingError, RoutingTable
+
+__all__ = ["fractahedral_tables"]
+
+
+def fractahedral_tables(net: Network) -> RoutingTable:
+    """Compile routing tables for a (thin, fat, or generalized) fractahedron."""
+    if net.attrs.get("levels") is None or net.attrs.get("assembly_size") is None:
+        raise RoutingError("network lacks fractahedron attributes")
+    return general_tables(net)

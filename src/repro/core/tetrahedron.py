@@ -1,0 +1,38 @@
+"""The tetrahedron: a fully-connected assembly of four 6-port routers.
+
+Figure 4 of the paper.  Among the fully-connected assemblies of Figure 3
+the four-router option is preferred: it ties the three-router assembly for
+the most end ports (twelve) but cuts worst-case link contention from 4:1
+to 3:1, and intra-assembly routing consumes exactly two destination address
+bits, keeping the node address space dense.
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+from repro.topology.fully_connected import fully_connected_assembly
+
+__all__ = ["tetrahedron", "TETRA_SIZE"]
+
+#: Routers per tetrahedron.
+TETRA_SIZE = 4
+
+
+def tetrahedron(
+    router_radix: int = 6,
+    fill_nodes: bool = True,
+    name_prefix: str = "C",
+) -> Network:
+    """Build a single tetrahedron (Figure 4).
+
+    With ``fill_nodes`` every non-intra port carries an end node (three per
+    corner on 6-port routers); with ``fill_nodes=False`` the corners keep
+    their free ports for hierarchical assembly into fractahedrons.
+    """
+    return fully_connected_assembly(
+        TETRA_SIZE,
+        router_radix=router_radix,
+        fill_nodes=fill_nodes,
+        name_prefix=name_prefix,
+    )

@@ -1,0 +1,58 @@
+"""End-to-end deadlock-freedom certification of (topology, routing) pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deadlock.cdg import channel_dependency_graph, find_cycle
+from repro.network.graph import Network
+from repro.routing.base import RouteSet, RoutingTable, all_pairs_routes
+from repro.routing.validate import validate_routing
+
+__all__ = ["CertificationResult", "certify_deadlock_free"]
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Outcome of :func:`certify_deadlock_free`."""
+
+    network: str
+    deliverable: bool
+    deadlock_free: bool
+    num_channels: int
+    num_dependencies: int
+    sample_cycle: tuple[str, ...] | None
+    failures: tuple[str, ...]
+
+    @property
+    def certified(self) -> bool:
+        """True when routing is complete, loop-free and deadlock-free."""
+        return self.deliverable and self.deadlock_free
+
+
+def certify_deadlock_free(
+    net: Network,
+    tables: RoutingTable,
+    routes: RouteSet | None = None,
+) -> CertificationResult:
+    """Certify a (network, routing) pair.
+
+    Checks (1) every ordered end-node pair is deliverable over a simple
+    path, and (2) the channel dependency graph of the all-pairs route set
+    is acyclic.  Together these are the Dally-Seitz conditions for a
+    deterministic wormhole network that can never deadlock.
+    """
+    report = validate_routing(net, tables)
+    if routes is None:
+        routes = all_pairs_routes(net, tables) if report.ok else RouteSet()
+    cdg = channel_dependency_graph(net, routes)
+    cycle = find_cycle(cdg)
+    return CertificationResult(
+        network=net.name,
+        deliverable=report.ok,
+        deadlock_free=cycle is None,
+        num_channels=cdg.number_of_nodes(),
+        num_dependencies=cdg.number_of_edges(),
+        sample_cycle=tuple(cycle) if cycle else None,
+        failures=tuple(report.failures[:10]),
+    )

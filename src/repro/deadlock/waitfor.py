@@ -1,0 +1,49 @@
+"""Runtime wait-for graph: dynamic deadlock detection for the simulator.
+
+The static CDG says whether deadlock *can* happen; the wait-for graph says
+whether it *has*.  At any simulation instant, channel ``a`` waits for
+channel ``b`` when the packet currently holding ``a``'s downstream buffer
+cannot advance because ``b`` has no space (or is held by another worm).
+A cycle in this graph is an actual deadlock: every packet on the cycle is
+blocked behind another, forever -- Figure 1, live.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["WaitForGraph"]
+
+
+class WaitForGraph:
+    """Incremental wait-for relation between channels (or any resources)."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def clear(self) -> None:
+        self._graph.clear()
+
+    def add_wait(self, holder: str, wanted: str, packet: int | str | None = None) -> None:
+        """Record that the owner of ``holder`` is blocked on ``wanted``."""
+        self._graph.add_edge(holder, wanted, packet=packet)
+
+    def find_deadlock(self) -> list[str] | None:
+        """Return one cycle of mutually-waiting channels, or None."""
+        try:
+            edges = nx.find_cycle(self._graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [edge[0] for edge in edges]
+
+    def blocked_packets(self, cycle: list[str]) -> list[int | str | None]:
+        """The packets riding a detected cycle (for diagnostics)."""
+        packets = []
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            if self._graph.has_edge(a, b):
+                packets.append(self._graph[a][b].get("packet"))
+        return packets
+
+    @property
+    def num_waits(self) -> int:
+        return self._graph.number_of_edges()

@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run()`` returning a plain dict of results and
+``report()`` returning printable text in the shape of the paper's tables.
+Benchmarks call ``run()`` (asserting the paper's numbers); the CLI and
+examples call ``report()``.
+"""
+
+from repro.experiments import (  # noqa: F401 - re-exported module namespace
+    ablations,
+    adaptive_order,
+    fault_study,
+    fig1_deadlock,
+    fig2_hypercube,
+    fig3_assemblies,
+    future_simulation,
+    sec24_deadlock,
+    sec31_mesh,
+    sec32_hypercube,
+    sec33_fattree,
+    table1_fractahedron,
+    table2_comparison,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_deadlock,
+    "fig2": fig2_hypercube,
+    "fig3": fig3_assemblies,
+    "table1": table1_fractahedron,
+    "sec31": sec31_mesh,
+    "sec32": sec32_hypercube,
+    "sec33": sec33_fattree,
+    "table2": table2_comparison,
+    "sec24": sec24_deadlock,
+    "adaptive": adaptive_order,
+    "faults": fault_study,
+    "futurework": future_simulation,
+    "ablations": ablations,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,62 @@
+"""Figure 3 / §3.0: fully-connected assemblies of 6-port routers.
+
+The paper tabulates, for M = 2..6 fully-connected routers, the end-node
+ports offered and the worst link contention; M = 4 (the tetrahedron) wins
+on contention among the 12-port options.  We rebuild each assembly, route
+it, and measure both columns.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.contention import worst_case_contention
+from repro.metrics.report import format_table
+from repro.routing.base import all_pairs_routes
+from repro.routing.shortest_path import shortest_path_tables
+from repro.topology.fully_connected import assembly_end_ports, fully_connected_assembly
+
+__all__ = ["PAPER_TABLE", "run", "report"]
+
+#: The paper's numbers: M -> (end ports, max contention).
+PAPER_TABLE = {
+    2: (10, 5),
+    3: (12, 4),
+    4: (12, 3),
+    5: (10, 2),
+    6: (6, 1),
+}
+
+
+def run(router_radix: int = 6) -> dict:
+    rows = {}
+    for m in range(2, router_radix + 1):
+        net = fully_connected_assembly(m, router_radix=router_radix)
+        tables = shortest_path_tables(net)
+        routes = all_pairs_routes(net, tables)
+        worst = worst_case_contention(net, routes)
+        rows[m] = {
+            "end_ports": net.num_end_nodes,
+            "end_ports_formula": assembly_end_ports(m, router_radix),
+            "contention": worst.contention,
+            "worst_link": worst.link_id,
+        }
+    return rows
+
+
+def report() -> str:
+    rows = run()
+    table_rows = []
+    for m, r in sorted(rows.items()):
+        paper = PAPER_TABLE.get(m)
+        table_rows.append(
+            [
+                m,
+                r["end_ports"],
+                f"{r['contention']}:1",
+                f"{paper[0]} / {paper[1]}:1" if paper else "-",
+            ]
+        )
+    return format_table(
+        ["routers M", "end ports", "max contention", "paper (ports/cont.)"],
+        table_rows,
+        title="Figure 3: fully-connected assemblies of 6-port routers",
+    )

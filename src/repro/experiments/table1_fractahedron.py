@@ -1,0 +1,145 @@
+"""Table 1: N-level 2-3-1 fractahedral parameters.
+
+    Parameter         Thin          Fat
+    Maximum nodes     2*8^N         2*8^N
+    Bisection BW      4 links       4^N links
+    Maximum delays    4N-2 hops     3N-1 hops
+
+We build the actual networks (with the paper's fan-out stage pairing CPUs
+onto the level-1 down ports), measure node counts, worst-case router hops
+(targeted adversarial pairs plus a random sample) and bisection (max-flow
+min-cut isolating half the nodes), and compare against the closed forms.
+Delays exclude the fan-out stage, as the paper's footnote specifies; the
+text's 12 (thin) and 10 (fat) delays for 1024 CPUs are these plus two.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import CHILDREN_PER_GROUP
+from repro.core.analysis import (
+    fat_bisection_links,
+    fat_max_router_hops,
+    max_nodes,
+    router_count,
+    thin_bisection_links,
+    thin_max_router_hops,
+)
+from repro.core.fractahedron import FractaParams, fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.metrics.bisection import bisection_of_partition
+from repro.metrics.hops import hop_stats_sampled
+from repro.metrics.report import format_table
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable, compute_route
+
+__all__ = ["run", "report", "worst_pair", "measure_level"]
+
+FANOUT = 2
+
+
+def worst_pair(params: FractaParams) -> tuple[str, str]:
+    """A (src, dst) pair realizing the worst-case delay formula.
+
+    Thin: every ascent level needs a lateral to corner 0 (child positions
+    >= 2), the turn needs a lateral, and every descent level needs a
+    lateral (positions >= 2) -- digits 2 for the source tetra, digits 4
+    for the destination, corners != 0 at both ends.
+
+    Fat: ascent is lateral-free from tetra 0 (layer path stays 0, arrival
+    corners 0), and a destination tetra of digits 7 with corner 3 forces a
+    lateral at the top, every intermediate level, and level 1.
+    """
+    n = params.levels
+    if params.fat:
+        src_tetra = 0
+        dst_tetra = sum(7 * CHILDREN_PER_GROUP**k for k in range(n - 1))
+        src_corner, dst_corner = 0, 3
+    else:
+        src_tetra = sum(2 * CHILDREN_PER_GROUP**k for k in range(n - 1))
+        dst_tetra = sum(4 * CHILDREN_PER_GROUP**k for k in range(n - 1))
+        src_corner, dst_corner = 1, 1
+        if n == 1:
+            src_tetra = dst_tetra = 0
+            src_corner, dst_corner = 0, 1
+    width = params.fanout_width or 1
+    per_tetra = 4 * 2 * width
+    src = f"n{src_tetra * per_tetra + src_corner * 2 * width}"
+    dst = f"n{dst_tetra * per_tetra + dst_corner * 2 * width}"
+    return src, dst
+
+
+def _fanout_extra(params: FractaParams) -> int:
+    return 2 if params.fanout_width else 0
+
+
+def measure_level(levels: int, fat: bool, sample_pairs: int = 2000) -> dict:
+    """Build one fractahedron and measure its Table 1 row."""
+    params = FractaParams(levels, fat=fat, fanout_width=FANOUT)
+    net = fractahedron(params)
+    tables = fractahedral_tables(net)
+
+    src, dst = worst_pair(params)
+    worst_route = compute_route(net, tables, src, dst)
+    stats = hop_stats_sampled(net, tables, max_pairs=sample_pairs)
+
+    half = net.num_end_nodes // 2
+    left = [f"n{i}" for i in range(half)]
+    bisection = bisection_of_partition(net, left)
+
+    formula_delay = (
+        fat_max_router_hops(levels) if fat else thin_max_router_hops(levels)
+    ) + _fanout_extra(params)
+    formula_bisection = fat_bisection_links(levels) if fat else thin_bisection_links(levels)
+
+    return {
+        "levels": levels,
+        "fat": fat,
+        "nodes": net.num_end_nodes,
+        "nodes_formula": max_nodes(levels, FANOUT),
+        "routers": net.num_routers,
+        "routers_formula": router_count(levels, fat, FANOUT),
+        "worst_pair_hops": worst_route.router_hops,
+        "sampled_max_hops": max(stats.maximum, worst_route.router_hops),
+        "avg_hops": stats.mean,
+        "delay_formula": formula_delay,
+        "bisection": bisection,
+        "bisection_formula": formula_bisection,
+    }
+
+
+def run(max_levels: int = 3, sample_pairs: int = 2000) -> list[dict]:
+    rows = []
+    for levels in range(1, max_levels + 1):
+        for fat in (False, True):
+            rows.append(measure_level(levels, fat, sample_pairs))
+    return rows
+
+
+def report(max_levels: int = 3) -> str:
+    rows = run(max_levels)
+    table = []
+    for r in rows:
+        table.append(
+            [
+                r["levels"],
+                "fat" if r["fat"] else "thin",
+                f"{r['nodes']} (={r['nodes_formula']})",
+                r["routers"],
+                f"{r['sampled_max_hops']} (={r['delay_formula']})",
+                f"{r['avg_hops']:.2f}",
+                f"{r['bisection']} (~{r['bisection_formula']})",
+            ]
+        )
+    note = (
+        "delays include the fan-out stage (+2 over Table 1's formulas);\n"
+        "bisection formula: thin 4, fat 4^N (see EXPERIMENTS.md for the OCR note)"
+    )
+    return (
+        format_table(
+            ["N", "kind", "nodes", "routers", "max delay", "avg hops", "bisection"],
+            table,
+            title="Table 1: N-level 2-3-1 fractahedral parameters (measured vs formula)",
+        )
+        + "\n"
+        + note
+    )

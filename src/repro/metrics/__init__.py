@@ -1,0 +1,55 @@
+"""Static network metrics.
+
+Everything §3.0 compares topologies on: maximum link contention, router
+hop statistics, bisection bandwidth, link-utilization evenness, and cost
+(router/cable counts).  All metrics are computed from a
+:class:`~repro.routing.base.RouteSet` -- the fixed paths ServerNet's
+in-order guarantee mandates -- so they reflect the *routed* network, not
+just the raw graph.
+"""
+
+from repro.metrics.contention import (
+    ContentionResult,
+    link_contention,
+    pattern_contention,
+    worst_case_contention,
+)
+from repro.metrics.bisection import (
+    bisection_of_partition,
+    global_min_cut,
+    min_cut_isolating,
+    routing_effective_bisection,
+)
+from repro.metrics.hops import HopStats, hop_stats, hop_stats_sampled
+from repro.metrics.utilization import channel_loads, utilization_stats
+from repro.metrics.cost import CostSummary, cost_summary
+from repro.metrics.latency_model import (
+    LatencyEstimate,
+    latency_table,
+    zero_load_latency_cycles,
+    zero_load_latency_us,
+)
+from repro.metrics.report import format_table
+
+__all__ = [
+    "ContentionResult",
+    "CostSummary",
+    "HopStats",
+    "LatencyEstimate",
+    "bisection_of_partition",
+    "channel_loads",
+    "cost_summary",
+    "format_table",
+    "global_min_cut",
+    "hop_stats",
+    "latency_table",
+    "hop_stats_sampled",
+    "link_contention",
+    "min_cut_isolating",
+    "pattern_contention",
+    "routing_effective_bisection",
+    "utilization_stats",
+    "worst_case_contention",
+    "zero_load_latency_cycles",
+    "zero_load_latency_us",
+]

@@ -1,0 +1,100 @@
+"""Bisection bandwidth.
+
+The paper measures bandwidth as "the total traffic that can flow between
+halves of the system when cut at its weakest point" (§2.2), in units of
+links.  Exact minimum bisection is NP-hard in general, so we provide the
+pieces the experiments need:
+
+* :func:`bisection_of_partition` -- cables crossing a *given* bipartition
+  (the experiments supply the topology's natural halves);
+* :func:`min_cut_isolating` -- cheapest cut isolating a given node set
+  (max-flow);
+* :func:`global_min_cut` -- Stoer-Wagner global minimum cut, a lower bound
+  on any bisection;
+* :func:`routing_effective_bisection` -- how many distinct links the
+  *fixed routing* actually uses across a cut, which can be smaller than
+  the wiring provides (the price of static partitioning).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.network.graph import Network
+from repro.routing.base import RouteSet
+
+__all__ = [
+    "bisection_of_partition",
+    "global_min_cut",
+    "min_cut_isolating",
+    "routing_effective_bisection",
+]
+
+
+def bisection_of_partition(net: Network, left_end_nodes: Iterable[str]) -> int:
+    """Cables crossing the best router split consistent with an end-node split.
+
+    End nodes in ``left_end_nodes`` (with their attached routers' position
+    chosen freely) form one half.  We compute the *minimum* number of
+    crossing duplex cables over router placements via max-flow: contract
+    all left end nodes into a super-source and the rest into a super-sink,
+    then min-cut.  Injection cables never cross (a node stays with no
+    router only by cutting its own cable, which max-flow may choose if
+    cheaper -- matching the physical meaning).
+    """
+    left = set(left_end_nodes)
+    g = net.to_networkx_undirected()
+    g.add_node("__SRC__")
+    g.add_node("__DST__")
+    big = net.num_links  # effectively infinite
+    for end in net.end_node_ids():
+        if end in left:
+            g.add_edge("__SRC__", end, capacity=big)
+        else:
+            g.add_edge("__DST__", end, capacity=big)
+    value, _ = nx.minimum_cut(g, "__SRC__", "__DST__", capacity="capacity")
+    return int(value)
+
+
+def min_cut_isolating(net: Network, node_set: Iterable[str]) -> int:
+    """Cheapest cut (in cables) isolating exactly the given nodes."""
+    return bisection_of_partition(net, [n for n in node_set if net.node(n).is_end_node])
+
+
+def global_min_cut(net: Network, routers_only: bool = True) -> int:
+    """Stoer-Wagner global minimum cut in cables (lower bounds bisection)."""
+    g = net.to_networkx_undirected(routers_only=routers_only)
+    if g.number_of_nodes() < 2:
+        return 0
+    value, _ = nx.stoer_wagner(g, weight="capacity")
+    return int(value)
+
+
+def routing_effective_bisection(
+    net: Network,
+    routes: RouteSet,
+    left_end_nodes: Iterable[str],
+    left_routers: Iterable[str],
+) -> int:
+    """Distinct cables the fixed routing uses across a given bipartition.
+
+    Given matching end-node and router halves, count the duplex cables
+    whose endpoints lie on opposite sides and that carry at least one
+    route between the halves.  This captures the §3.3 concern that a
+    static partitioning may leave physically-present links unused for
+    cross traffic: the wiring's bisection and the *routed* bisection can
+    differ.
+    """
+    left_nodes = set(left_end_nodes)
+    left_r = set(left_routers)
+    crossing_cables: set[frozenset[str]] = set()
+    for route in routes:
+        if (route.src in left_nodes) == (route.dst in left_nodes):
+            continue
+        for link_id in route.router_links:
+            link = net.link(link_id)
+            if (link.src in left_r) != (link.dst in left_r):
+                crossing_cables.add(frozenset((link.link_id, link.reverse_id)))
+    return len(crossing_cables)

@@ -1,0 +1,110 @@
+"""Maximum link contention (§3.0).
+
+The paper's measure of load-imbalance tolerance: the largest number of
+*simultaneous transfers* that can be forced to share one link.  A node
+sends (and receives) one transfer at a time, so for a link ``l`` the worst
+case over all workloads is
+
+    ``min( #sources with some route through l,  #destinations with some
+    route through l )``
+
+-- pick that many disjoint (source, destination) pairs all routed over
+``l``.  This definition reproduces every example in the paper exactly:
+
+* 6x6 mesh, dimension-order: the corner-turn link carries 12 sources but
+  only 10 destinations sit beyond it -> 10:1 (§3.1).
+* 64-node 4-2 fat tree, static partitioning: a top-level link serves 3
+  leaf routers' worth of sources -> 12:1, and no static partitioning does
+  better (§3.3).
+* Fully-connected assemblies: M=4 gives 3:1 (Figure 3).
+* Fat fractahedron: the paper's example pattern loads a level-2 diagonal
+  to 4:1 (§3.4); exhaustive search also surfaces inter-level links at
+  8:1, which EXPERIMENTS.md discusses -- still well below the fat tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.network.graph import Network
+from repro.routing.base import RouteSet
+
+__all__ = [
+    "ContentionResult",
+    "link_contention",
+    "pattern_contention",
+    "worst_case_contention",
+]
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Worst-case contention of one link."""
+
+    link_id: str
+    num_sources: int
+    num_destinations: int
+
+    @property
+    def contention(self) -> int:
+        """Max simultaneous transfers: min(sources, destinations)."""
+        return min(self.num_sources, self.num_destinations)
+
+    @property
+    def ratio(self) -> str:
+        return f"{self.contention}:1"
+
+
+def link_contention(net: Network, routes: RouteSet) -> dict[str, ContentionResult]:
+    """Worst-case contention of every router-to-router link.
+
+    ``routes`` should be the all-pairs route set (or at least cover every
+    pair the workload family may activate).
+    """
+    sources: dict[str, set[str]] = {}
+    dests: dict[str, set[str]] = {}
+    for route in routes:
+        for link in route.router_links:
+            sources.setdefault(link, set()).add(route.src)
+            dests.setdefault(link, set()).add(route.dst)
+    results: dict[str, ContentionResult] = {}
+    for link in net.router_links():
+        lid = link.link_id
+        results[lid] = ContentionResult(
+            lid, len(sources.get(lid, ())), len(dests.get(lid, ()))
+        )
+    return results
+
+
+def worst_case_contention(net: Network, routes: RouteSet) -> ContentionResult:
+    """The single worst link (ties broken by link id for determinism)."""
+    results = link_contention(net, routes)
+    if not results:
+        raise ValueError("network has no router-to-router links")
+    return max(results.values(), key=lambda r: (r.contention, r.link_id))
+
+
+def pattern_contention(
+    routes: RouteSet, transfers: Iterable[tuple[str, str]] | None = None
+) -> tuple[int, str]:
+    """Contention of an explicit transfer pattern.
+
+    Counts, per link, how many of the given simultaneous transfers route
+    over it; returns ``(max_count, link_id)``.  Used to replay the paper's
+    concrete examples (e.g. nodes 6,7,14,15 -> 54,55,62,63 on the fat
+    fractahedron).
+    """
+    counts: dict[str, int] = {}
+    selected = (
+        routes.routes()
+        if transfers is None
+        else (routes.get(s, d) for s, d in transfers)
+    )
+    for route in selected:
+        for link in route.router_links:
+            counts[link] = counts.get(link, 0) + 1
+    if not counts:
+        return 0, ""
+    link = max(counts, key=lambda l: (counts[l], l))
+    return counts[link], link

@@ -1,0 +1,50 @@
+"""Cost accounting: routers, cables, ports.
+
+Table 2's "Routers" row (28 for the 4-2 fat tree versus 48 for the fat
+fractahedron: "the cost of the contention reduction is an increase in the
+number of routers") and §3.3's 100-router 3-3 fat tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.graph import Network
+
+__all__ = ["CostSummary", "cost_summary"]
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Inventory of a network's hardware."""
+
+    routers: int
+    end_nodes: int
+    cables: int
+    router_cables: int
+    ports_total: int
+    ports_used: int
+
+    @property
+    def routers_per_node(self) -> float:
+        return self.routers / self.end_nodes if self.end_nodes else 0.0
+
+    @property
+    def port_utilization(self) -> float:
+        return self.ports_used / self.ports_total if self.ports_total else 0.0
+
+
+def cost_summary(net: Network) -> CostSummary:
+    """Count routers, cables and port usage."""
+    cables = net.num_links // 2  # links come in duplex pairs
+    router_cables = len(net.router_links()) // 2
+    ports_total = sum(r.num_ports for r in net.routers())
+    ports_used = sum(net.used_ports(r.node_id) for r in net.routers())
+    return CostSummary(
+        routers=net.num_routers,
+        end_nodes=net.num_end_nodes,
+        cables=cables,
+        router_cables=router_cables,
+        ports_total=ports_total,
+        ports_used=ports_used,
+    )

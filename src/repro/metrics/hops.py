@@ -1,0 +1,96 @@
+"""Router-hop statistics.
+
+The paper counts delay in *router hops* -- the number of routers a packet
+traverses ("a maximum delay between CPUs of four router hops -- two within
+the tetrahedron, and one each to get to and from the tetrahedron", §2.2).
+Table 2 compares averages: 4.4 for the 64-node 4-2 fat tree versus 4.3 for
+the fat fractahedron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.graph import Network
+from repro.routing.base import RouteSet, RoutingTable, compute_route
+
+__all__ = ["HopStats", "hop_stats", "hop_stats_sampled"]
+
+
+@dataclass(frozen=True)
+class HopStats:
+    """Distribution of router hops over a route set."""
+
+    count: int
+    minimum: int
+    maximum: int
+    mean: float
+    histogram: tuple[tuple[int, int], ...]  # (hops, routes) ascending
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        hist = ", ".join(f"{h}:{n}" for h, n in self.histogram)
+        return (
+            f"{self.count} routes, hops min={self.minimum} max={self.maximum} "
+            f"avg={self.mean:.2f}  [{hist}]"
+        )
+
+
+def hop_stats(routes: RouteSet) -> HopStats:
+    """Hop statistics over an explicit route set (usually all pairs)."""
+    counts: dict[int, int] = {}
+    total = 0
+    n = 0
+    for route in routes:
+        hops = route.router_hops
+        counts[hops] = counts.get(hops, 0) + 1
+        total += hops
+        n += 1
+    if n == 0:
+        raise ValueError("empty route set")
+    return HopStats(
+        count=n,
+        minimum=min(counts),
+        maximum=max(counts),
+        mean=total / n,
+        histogram=tuple(sorted(counts.items())),
+    )
+
+
+def hop_stats_sampled(
+    net: Network,
+    tables: RoutingTable,
+    max_pairs: int = 20000,
+    seed: int = 12345,
+) -> HopStats:
+    """Hop statistics from a random sample of pairs (for 1000+-node nets).
+
+    Uses a deterministic linear-congruential shuffle so results are
+    reproducible without pulling in global random state.
+    """
+    ends = net.end_node_ids()
+    total_pairs = len(ends) * (len(ends) - 1)
+    if total_pairs <= max_pairs:
+        pairs = [(s, d) for s in ends for d in ends if s != d]
+    else:
+        pairs = []
+        state = seed
+        for _ in range(max_pairs):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            s = ends[state % len(ends)]
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            d = ends[state % len(ends)]
+            if s != d:
+                pairs.append((s, d))
+    counts: dict[int, int] = {}
+    total = 0
+    for src, dst in pairs:
+        hops = compute_route(net, tables, src, dst).router_hops
+        counts[hops] = counts.get(hops, 0) + 1
+        total += hops
+    return HopStats(
+        count=len(pairs),
+        minimum=min(counts),
+        maximum=max(counts),
+        mean=total / len(pairs),
+        histogram=tuple(sorted(counts.items())),
+    )

@@ -1,0 +1,98 @@
+"""Analytic zero-load latency model, in cycles and microseconds.
+
+Wormhole routing's signature property is that zero-load latency is almost
+independent of distance for long packets: the head pays one cycle per
+link and the tail streams behind, so a transfer of ``F`` flits over a
+route of ``L`` links completes in ``L + F - 2`` cycles after injection
+starts (head ejects at cycle ``L - 1``; the tail is ``F - 1`` flits
+behind).  With ServerNet's byte-serial 50 MB/s links a cycle is one flit
+time, so the model converts directly to microseconds.
+
+The model is exact for our simulator at zero load (a property test
+asserts model == simulation for single packets), which is what makes the
+congested-simulation numbers interpretable: anything above the model is
+queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.graph import Network
+from repro.routing.base import Route, RoutingTable, compute_route
+from repro.servernet.constants import FLIT_BYTES, LINK_BYTES_PER_SECOND
+
+__all__ = [
+    "LatencyEstimate",
+    "zero_load_latency_cycles",
+    "zero_load_latency_us",
+    "latency_table",
+]
+
+
+def zero_load_latency_cycles(
+    route: Route, packet_flits: int, router_delay: int = 0
+) -> int:
+    """Cycles from injection start to tail delivery on an idle network.
+
+    ``router_delay`` is the per-router pipeline cost of
+    :class:`~repro.sim.engine.SimConfig`; it applies once per
+    router-to-router hop (the head pays it; the tail streams behind).
+
+    With nonzero ``router_delay`` the model assumes input FIFOs deep
+    enough that the credit loop never stalls the stream
+    (``buffer_depth > router_delay``); shallower buffers add real
+    credit-return bubbles on top of the model, exactly as in hardware.
+    """
+    if packet_flits < 1:
+        raise ValueError("packets need at least one flit")
+    fabric_hops = max(0, len(route.links) - 2)
+    return len(route.links) + packet_flits - 2 + router_delay * fabric_hops
+
+
+def zero_load_latency_us(
+    route: Route,
+    packet_bytes: int,
+    flit_bytes: int = FLIT_BYTES,
+) -> float:
+    """Wall-clock zero-load latency at 50 MB/s per link."""
+    flits = -(-packet_bytes // flit_bytes)
+    cycles = zero_load_latency_cycles(route, flits)
+    return cycles * flit_bytes / LINK_BYTES_PER_SECOND * 1e6
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Zero-load latency summary for one network/routing/packet size."""
+
+    packet_flits: int
+    min_cycles: int
+    max_cycles: int
+    mean_cycles: float
+
+    def us(self, flit_bytes: int = FLIT_BYTES) -> tuple[float, float, float]:
+        scale = flit_bytes / LINK_BYTES_PER_SECOND * 1e6
+        return (self.min_cycles * scale, self.max_cycles * scale,
+                self.mean_cycles * scale)
+
+
+def latency_table(
+    net: Network,
+    tables: RoutingTable,
+    packet_flits: int,
+    pairs: list[tuple[str, str]] | None = None,
+) -> LatencyEstimate:
+    """Zero-load latency distribution over pairs (default: all pairs)."""
+    ends = net.end_node_ids()
+    if pairs is None:
+        pairs = [(s, d) for s in ends for d in ends if s != d]
+    cycles = [
+        zero_load_latency_cycles(compute_route(net, tables, s, d), packet_flits)
+        for s, d in pairs
+    ]
+    return LatencyEstimate(
+        packet_flits=packet_flits,
+        min_cycles=min(cycles),
+        max_cycles=max(cycles),
+        mean_cycles=sum(cycles) / len(cycles),
+    )

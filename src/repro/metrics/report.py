@@ -1,0 +1,36 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+keeps the formatting in one place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

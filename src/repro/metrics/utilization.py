@@ -1,0 +1,61 @@
+"""Link-utilization evenness under uniform traffic.
+
+§2.2's complaint about hypercube path disables: "most arrangements of path
+disables give uneven link utilization under uniform load" -- some links
+carry only local traffic while others carry all the pass-through.  We
+measure the per-channel *load* (number of all-pairs routes crossing it)
+and summarize the spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+
+from repro.network.graph import Network
+from repro.routing.base import RouteSet
+
+__all__ = ["channel_loads", "utilization_stats", "UtilizationStats"]
+
+
+def channel_loads(net: Network, routes: RouteSet) -> dict[str, int]:
+    """Routes crossing each router-to-router channel under the route set."""
+    loads = {l.link_id: 0 for l in net.router_links()}
+    for route in routes:
+        for link in route.router_links:
+            loads[link] += 1
+    return loads
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """Spread of channel loads."""
+
+    num_channels: int
+    minimum: int
+    maximum: int
+    mean: float
+    stdev: float
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean load ratio: 1.0 is perfectly even."""
+        return self.maximum / self.mean if self.mean else 0.0
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+def utilization_stats(net: Network, routes: RouteSet) -> UtilizationStats:
+    """Summarize load evenness over all router-to-router channels."""
+    loads = list(channel_loads(net, routes).values())
+    if not loads:
+        raise ValueError("network has no router-to-router links")
+    return UtilizationStats(
+        num_channels=len(loads),
+        minimum=min(loads),
+        maximum=max(loads),
+        mean=mean(loads),
+        stdev=pstdev(loads),
+    )

@@ -1,0 +1,46 @@
+"""Typed network-graph substrate.
+
+A :class:`~repro.network.graph.Network` is a collection of routers and end
+nodes connected by *unidirectional* links that always come in full-duplex
+pairs, matching ServerNet's paired-cable physical links.  Every link occupies
+one numbered port on each endpoint, and builders enforce per-node port
+budgets -- which is what makes the paper's "can this even be built from
+6-port routers?" arguments checkable.
+"""
+
+from repro.network.graph import (
+    LINK_SEP,
+    Link,
+    Network,
+    NetworkError,
+    Node,
+    NodeKind,
+    PortBudgetError,
+    PortInUseError,
+)
+from repro.network.builder import NetworkBuilder
+from repro.network.serialize import (
+    load_fabric,
+    network_from_dict,
+    network_to_dict,
+    save_fabric,
+)
+from repro.network.validate import ValidationIssue, validate_network
+
+__all__ = [
+    "LINK_SEP",
+    "Link",
+    "Network",
+    "NetworkBuilder",
+    "NetworkError",
+    "Node",
+    "NodeKind",
+    "PortBudgetError",
+    "PortInUseError",
+    "ValidationIssue",
+    "load_fabric",
+    "network_from_dict",
+    "network_to_dict",
+    "save_fabric",
+    "validate_network",
+]

@@ -1,0 +1,428 @@
+"""Core network data model: nodes, ports, unidirectional links.
+
+The model mirrors the physical structure of a ServerNet fabric:
+
+* **Routers** are packet switches with a fixed number of ports (6 for the
+  first-generation ServerNet router ASIC).
+* **End nodes** (CPUs, I/O adapters) have one or more ports.
+* A **port** is full duplex: connecting port ``pa`` of node ``a`` to port
+  ``pb`` of node ``b`` creates *two* unidirectional :class:`Link` objects,
+  one per direction, exactly like the paired unidirectional cables of a
+  ServerNet link.
+
+Unidirectional links are the *channels* of Dally & Seitz channel-dependency
+analysis, so modelling them explicitly (rather than as undirected edges)
+is what lets the deadlock machinery work unmodified on every topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "LINK_SEP",
+    "Link",
+    "Network",
+    "NetworkError",
+    "Node",
+    "NodeKind",
+    "PortBudgetError",
+    "PortInUseError",
+]
+
+#: Separator used when composing link identifiers from endpoint identifiers.
+LINK_SEP = "->"
+
+
+class NetworkError(Exception):
+    """Base class for structural network errors."""
+
+
+class PortBudgetError(NetworkError):
+    """Raised when a connection would exceed a node's port count."""
+
+
+class PortInUseError(NetworkError):
+    """Raised when a connection targets a port that is already cabled."""
+
+
+class NodeKind(Enum):
+    """The two kinds of network citizens."""
+
+    ROUTER = "router"
+    END_NODE = "end_node"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A router or end node.
+
+    Attributes:
+        node_id: Unique string identifier.
+        kind: Whether this is a packet switch or a traffic endpoint.
+        num_ports: Total full-duplex ports available on the device.
+        attrs: Free-form metadata (e.g. grid coordinates, tetra corner).
+    """
+
+    node_id: str
+    kind: NodeKind
+    num_ports: int
+    attrs: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def is_router(self) -> bool:
+        return self.kind is NodeKind.ROUTER
+
+    @property
+    def is_end_node(self) -> bool:
+        return self.kind is NodeKind.END_NODE
+
+
+@dataclass(frozen=True)
+class Link:
+    """One unidirectional channel between two nodes.
+
+    Links always exist in duplex pairs; :attr:`reverse_id` names the paired
+    channel running the opposite way over the same cable.
+    """
+
+    link_id: str
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    attrs: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def reverse_id(self) -> str:
+        return make_link_id(self.dst, self.dst_port, self.src, self.src_port)
+
+
+def make_link_id(src: str, src_port: int, dst: str, dst_port: int) -> str:
+    """Canonical identifier for the channel ``src:port -> dst:port``."""
+    return f"{src}:{src_port}{LINK_SEP}{dst}:{dst_port}"
+
+
+class Network:
+    """A directed network of routers and end nodes.
+
+    The class stores nodes and unidirectional links, maintains per-node port
+    occupancy, and offers the queries the rest of the library builds on
+    (neighbours, attached routers, router/end-node iteration, conversion to
+    :mod:`networkx` graphs for min-cut and path computations).
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[str, Link] = {}
+        #: node_id -> {port -> link_id of the *outgoing* link on that port}
+        self._out_ports: dict[str, dict[int, str]] = {}
+        #: node_id -> {port -> link_id of the *incoming* link on that port}
+        self._in_ports: dict[str, dict[int, str]] = {}
+        self.attrs: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_router(self, node_id: str, num_ports: int, **attrs: Any) -> Node:
+        """Add a router with ``num_ports`` full-duplex ports."""
+        return self._add_node(Node(node_id, NodeKind.ROUTER, num_ports, dict(attrs)))
+
+    def add_end_node(self, node_id: str, num_ports: int = 1, **attrs: Any) -> Node:
+        """Add an end node (CPU or I/O adapter); single-ported by default."""
+        return self._add_node(Node(node_id, NodeKind.END_NODE, num_ports, dict(attrs)))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.node_id in self._nodes:
+            raise NetworkError(f"duplicate node id {node.node_id!r}")
+        if node.num_ports < 1:
+            raise NetworkError(f"node {node.node_id!r} must have at least one port")
+        self._nodes[node.node_id] = node
+        self._out_ports[node.node_id] = {}
+        self._in_ports[node.node_id] = {}
+        return node
+
+    def connect(
+        self,
+        a: str,
+        a_port: int,
+        b: str,
+        b_port: int,
+        **attrs: Any,
+    ) -> tuple[Link, Link]:
+        """Cable port ``a_port`` of ``a`` to port ``b_port`` of ``b``.
+
+        Creates the duplex pair of unidirectional links and returns
+        ``(a_to_b, b_to_a)``.  Raises :class:`PortBudgetError` or
+        :class:`PortInUseError` when the physical connection is impossible.
+        """
+        na, nb = self.node(a), self.node(b)
+        if a == b:
+            raise NetworkError(f"self-link on {a!r} is not allowed")
+        for node, port in ((na, a_port), (nb, b_port)):
+            if not 0 <= port < node.num_ports:
+                raise PortBudgetError(
+                    f"port {port} out of range for {node.node_id!r} "
+                    f"({node.num_ports} ports)"
+                )
+            if port in self._out_ports[node.node_id] or port in self._in_ports[node.node_id]:
+                raise PortInUseError(f"port {port} of {node.node_id!r} already cabled")
+        fwd = Link(make_link_id(a, a_port, b, b_port), a, a_port, b, b_port, dict(attrs))
+        rev = Link(make_link_id(b, b_port, a, a_port), b, b_port, a, a_port, dict(attrs))
+        self._links[fwd.link_id] = fwd
+        self._links[rev.link_id] = rev
+        self._out_ports[a][a_port] = fwd.link_id
+        self._in_ports[a][a_port] = rev.link_id
+        self._out_ports[b][b_port] = rev.link_id
+        self._in_ports[b][b_port] = fwd.link_id
+        return fwd, rev
+
+    def connect_next_free(self, a: str, b: str, **attrs: Any) -> tuple[Link, Link]:
+        """Cable ``a`` to ``b`` using the lowest free port on each side."""
+        return self.connect(a, self.next_free_port(a), b, self.next_free_port(b), **attrs)
+
+    def disconnect(self, link_id: str) -> None:
+        """Remove a duplex connection given either direction's link id."""
+        link = self.link(link_id)
+        rev = self._links[link.reverse_id]
+        for l in (link, rev):
+            del self._links[l.link_id]
+            del self._out_ports[l.src][l.src_port]
+            del self._in_ports[l.dst][l.dst_port]
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and every cable attached to it."""
+        self.node(node_id)
+        for link in list(self.out_links(node_id)):
+            self.disconnect(link.link_id)
+        del self._nodes[node_id]
+        del self._out_ports[node_id]
+        del self._in_ports[node_id]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    def link(self, link_id: str) -> Link:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise NetworkError(f"unknown link {link_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_link(self, link_id: str) -> bool:
+        return link_id in self._links
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def link_ids(self) -> list[str]:
+        return list(self._links)
+
+    def routers(self) -> list[Node]:
+        return [n for n in self._nodes.values() if n.is_router]
+
+    def end_nodes(self) -> list[Node]:
+        return [n for n in self._nodes.values() if n.is_end_node]
+
+    def router_ids(self) -> list[str]:
+        return [n.node_id for n in self._nodes.values() if n.is_router]
+
+    def end_node_ids(self) -> list[str]:
+        return [n.node_id for n in self._nodes.values() if n.is_end_node]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def num_routers(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.is_router)
+
+    @property
+    def num_end_nodes(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.is_end_node)
+
+    def out_links(self, node_id: str) -> list[Link]:
+        """Outgoing links of a node, in port order."""
+        ports = self._out_ports[self.node(node_id).node_id]
+        return [self._links[ports[p]] for p in sorted(ports)]
+
+    def in_links(self, node_id: str) -> list[Link]:
+        """Incoming links of a node, in port order."""
+        ports = self._in_ports[self.node(node_id).node_id]
+        return [self._links[ports[p]] for p in sorted(ports)]
+
+    def out_link_on_port(self, node_id: str, port: int) -> Link:
+        """The outgoing link occupying a given port."""
+        try:
+            return self._links[self._out_ports[node_id][port]]
+        except KeyError:
+            raise NetworkError(f"no connection on port {port} of {node_id!r}") from None
+
+    def port_of_link(self, link_id: str) -> int:
+        """Output port used by a link at its source node."""
+        return self.link(link_id).src_port
+
+    def neighbors(self, node_id: str) -> list[str]:
+        """Distinct nodes reachable over one outgoing link, in port order."""
+        seen: list[str] = []
+        for link in self.out_links(node_id):
+            if link.dst not in seen:
+                seen.append(link.dst)
+        return seen
+
+    def links_between(self, a: str, b: str) -> list[Link]:
+        """All unidirectional links from ``a`` to ``b``."""
+        return [l for l in self.out_links(a) if l.dst == b]
+
+    def used_ports(self, node_id: str) -> int:
+        """Number of ports of a node that are cabled."""
+        self.node(node_id)
+        return len(self._out_ports[node_id])
+
+    def free_ports(self, node_id: str) -> int:
+        node = self.node(node_id)
+        return node.num_ports - self.used_ports(node_id)
+
+    def next_free_port(self, node_id: str) -> int:
+        """Lowest-numbered uncabled port, or raise :class:`PortBudgetError`."""
+        node = self.node(node_id)
+        used = self._out_ports[node_id].keys() | self._in_ports[node_id].keys()
+        for port in range(node.num_ports):
+            if port not in used:
+                return port
+        raise PortBudgetError(f"no free ports on {node_id!r}")
+
+    def attached_router(self, end_node_id: str) -> str:
+        """The router an end node hangs off (end nodes attach to exactly one)."""
+        node = self.node(end_node_id)
+        if not node.is_end_node:
+            raise NetworkError(f"{end_node_id!r} is not an end node")
+        routers = {l.dst for l in self.out_links(end_node_id)}
+        if len(routers) != 1:
+            raise NetworkError(
+                f"end node {end_node_id!r} attaches to {len(routers)} routers; expected 1"
+            )
+        return routers.pop()
+
+    def attached_end_nodes(self, router_id: str) -> list[str]:
+        """End nodes directly cabled to a router, in port order."""
+        return [l.dst for l in self.out_links(router_id) if self.node(l.dst).is_end_node]
+
+    def router_links(self) -> list[Link]:
+        """All router-to-router unidirectional links (the contention carriers)."""
+        return [
+            l
+            for l in self._links.values()
+            if self._nodes[l.src].is_router and self._nodes[l.dst].is_router
+        ]
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_networkx(self, routers_only: bool = False):
+        """Directed graph view (one edge per unidirectional link).
+
+        Args:
+            routers_only: drop end nodes and their injection/ejection links.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for node in self._nodes.values():
+            if routers_only and not node.is_router:
+                continue
+            g.add_node(node.node_id, kind=node.kind.value, **node.attrs)
+        for link in self._links.values():
+            if routers_only and not (
+                self._nodes[link.src].is_router and self._nodes[link.dst].is_router
+            ):
+                continue
+            g.add_edge(link.src, link.dst, link_id=link.link_id, **link.attrs)
+        return g
+
+    def to_networkx_undirected(self, routers_only: bool = False):
+        """Undirected view with one edge per duplex cable (for min-cuts)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for node in self._nodes.values():
+            if routers_only and not node.is_router:
+                continue
+            g.add_node(node.node_id, kind=node.kind.value, **node.attrs)
+        seen: set[str] = set()
+        for link in self._links.values():
+            if link.link_id in seen:
+                continue  # the reverse direction of a cable already counted
+            seen.add(link.link_id)
+            seen.add(link.reverse_id)
+            if routers_only and not (
+                self._nodes[link.src].is_router and self._nodes[link.dst].is_router
+            ):
+                continue
+            if not g.has_edge(link.src, link.dst):
+                g.add_edge(link.src, link.dst, capacity=1)
+            else:
+                # Parallel duplex cables between the same pair add capacity.
+                g[link.src][link.dst]["capacity"] += 1
+        return g
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def port_histogram(self) -> dict[int, int]:
+        """Map ``used port count -> number of routers`` (for cost analysis)."""
+        hist: dict[int, int] = {}
+        for router in self.routers():
+            used = self.used_ports(router.node_id)
+            hist[used] = hist.get(used, 0) + 1
+        return hist
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network {self.name!r}: {self.num_routers} routers, "
+            f"{self.num_end_nodes} end nodes, {self.num_links} links>"
+        )
+
+
+def subnetwork(net: Network, node_ids: Iterable[str], name: str | None = None) -> Network:
+    """Copy of ``net`` induced on ``node_ids`` (used by fault experiments)."""
+    keep = set(node_ids)
+    sub = Network(name or f"{net.name}-sub")
+    for node in net.nodes():
+        if node.node_id in keep:
+            if node.is_router:
+                sub.add_router(node.node_id, node.num_ports, **node.attrs)
+            else:
+                sub.add_end_node(node.node_id, node.num_ports, **node.attrs)
+    seen: set[str] = set()
+    for link in net.links():
+        if link.src in keep and link.dst in keep and link.link_id not in seen:
+            seen.add(link.link_id)
+            seen.add(link.reverse_id)
+            sub.connect(link.src, link.src_port, link.dst, link.dst_port, **link.attrs)
+    return sub

@@ -1,0 +1,116 @@
+"""Structural validation of networks.
+
+Checks the physical invariants every buildable fabric must satisfy:
+duplex pairing of links, port-budget compliance, end-node attachment rules,
+and (optionally) connectivity.  Topology builders are tested against these
+checks, and the CLI exposes them for user-constructed networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.graph import Network
+
+__all__ = ["ValidationIssue", "validate_network"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single problem found by :func:`validate_network`."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.severity}:{self.code}] {self.message}"
+
+
+def validate_network(
+    net: Network,
+    require_connected: bool = True,
+    require_end_nodes: bool = False,
+) -> list[ValidationIssue]:
+    """Validate structural invariants; return a list of issues (empty = OK).
+
+    Args:
+        net: the network to check.
+        require_connected: flag disconnected fabrics as errors.
+        require_end_nodes: flag routers with no end nodes anywhere as an error
+            (useful when validating complete systems rather than bare fabrics).
+    """
+    issues: list[ValidationIssue] = []
+
+    # Every link must have its duplex partner.
+    for link in net.links():
+        if not net.has_link(link.reverse_id):
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "unpaired-link",
+                    f"link {link.link_id} has no reverse channel",
+                )
+            )
+
+    # Port budgets (defensive; Network.connect enforces this on the way in).
+    for node in net.nodes():
+        used = net.used_ports(node.node_id)
+        if used > node.num_ports:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "port-budget",
+                    f"{node.node_id} uses {used} ports but has {node.num_ports}",
+                )
+            )
+
+    # End nodes must attach to exactly one router and carry no transit traffic.
+    for end in net.end_nodes():
+        neighbors = net.neighbors(end.node_id)
+        if len(neighbors) != 1:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "end-node-attachment",
+                    f"end node {end.node_id} attaches to {len(neighbors)} neighbours",
+                )
+            )
+        elif not net.node(neighbors[0]).is_router:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "end-node-attachment",
+                    f"end node {end.node_id} attaches to non-router {neighbors[0]}",
+                )
+            )
+
+    if require_end_nodes and net.num_end_nodes == 0:
+        issues.append(
+            ValidationIssue("error", "no-end-nodes", "network has no end nodes")
+        )
+
+    if require_connected and net.num_nodes > 1:
+        import networkx as nx
+
+        g = net.to_networkx_undirected()
+        if g.number_of_nodes() and not nx.is_connected(g):
+            parts = sorted(len(c) for c in nx.connected_components(g))
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "disconnected",
+                    f"network splits into components of sizes {parts}",
+                )
+            )
+
+    # Isolated routers are suspicious even in fabrics allowed to be sparse.
+    for router in net.routers():
+        if net.used_ports(router.node_id) == 0:
+            issues.append(
+                ValidationIssue(
+                    "warning", "isolated-router", f"router {router.node_id} has no cables"
+                )
+            )
+
+    return issues

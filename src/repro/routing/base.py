@@ -1,0 +1,222 @@
+"""Routes, routing tables and route sets.
+
+The paper's routing model (§2.3): *"these matches are actually done by
+looking up entries in the routing table inside each router"*.  A routing
+table maps a destination end node to an output port at each router; walking
+the tables from a source yields the unique fixed path ServerNet requires for
+in-order delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.network.graph import Network
+
+__all__ = [
+    "Route",
+    "RouteSet",
+    "RoutingError",
+    "RoutingTable",
+    "all_pairs_routes",
+    "compute_route",
+    "routes_for_pairs",
+]
+
+
+class RoutingError(Exception):
+    """Raised when a route cannot be derived from the tables."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """A fixed path from a source end node to a destination end node.
+
+    Attributes:
+        src: source end node id.
+        dst: destination end node id.
+        links: the unidirectional link ids traversed, in order.  The first
+            link is the injection link (end node to router) and the last is
+            the ejection link (router to end node) unless source and
+            destination share a router in degenerate single-router systems.
+        nodes: every node visited, starting at ``src`` and ending at ``dst``.
+    """
+
+    src: str
+    dst: str
+    links: tuple[str, ...]
+    nodes: tuple[str, ...]
+
+    @property
+    def router_hops(self) -> int:
+        """Number of routers traversed (the paper's "router hops"/"delays").
+
+        A transfer between two nodes on the same router counts 1; the paper's
+        "maximum delay of four router hops" for a 16-CPU system counts the
+        routers visited, not the links.
+        """
+        return len(self.nodes) - 2
+
+    @property
+    def router_links(self) -> tuple[str, ...]:
+        """The router-to-router links only (contention is measured on these)."""
+        return self.links[1:-1]
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+class RoutingTable:
+    """Per-router destination-indexed forwarding tables.
+
+    ``table[router][dest] -> output port``.  Destinations are end-node ids;
+    entries exist for every destination a router may have to forward toward,
+    including locally-attached ones (whose entry names the ejection port).
+    """
+
+    def __init__(self, entries: Mapping[str, Mapping[str, int]] | None = None) -> None:
+        self._entries: dict[str, dict[str, int]] = {
+            r: dict(d) for r, d in (entries or {}).items()
+        }
+
+    def set(self, router: str, dest: str, port: int) -> None:
+        self._entries.setdefault(router, {})[dest] = port
+
+    def lookup(self, router: str, dest: str) -> int:
+        try:
+            return self._entries[router][dest]
+        except KeyError:
+            raise RoutingError(f"router {router!r} has no entry for dest {dest!r}") from None
+
+    def has_entry(self, router: str, dest: str) -> bool:
+        return router in self._entries and dest in self._entries[router]
+
+    def routers(self) -> list[str]:
+        return list(self._entries)
+
+    def entries(self, router: str) -> dict[str, int]:
+        """Copy of one router's table."""
+        return dict(self._entries.get(router, {}))
+
+    def items(self) -> Iterator[tuple[str, str, int]]:
+        for router, dests in self._entries.items():
+            for dest, port in dests.items():
+                yield router, dest, port
+
+    def num_entries(self) -> int:
+        return sum(len(d) for d in self._entries.values())
+
+    def used_output_ports(self, router: str) -> set[int]:
+        """Ports a router ever forwards onto (for disable synthesis)."""
+        return set(self._entries.get(router, {}).values())
+
+    def copy(self) -> "RoutingTable":
+        return RoutingTable(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RoutingTable {len(self._entries)} routers, {self.num_entries()} entries>"
+
+
+def compute_route(net: Network, tables: RoutingTable, src: str, dst: str) -> Route:
+    """Walk the routing tables from ``src`` to ``dst`` as a packet would.
+
+    Raises :class:`RoutingError` on missing entries, routing loops (more
+    steps than links in the network) or arrival anywhere but ``dst``.
+    """
+    if src == dst:
+        raise RoutingError("source and destination are identical")
+    src_node = net.node(src)
+    if not src_node.is_end_node:
+        raise RoutingError(f"source {src!r} is not an end node")
+
+    injection = net.out_links(src)
+    if len(injection) != 1:
+        raise RoutingError(f"source {src!r} must have exactly one injection link")
+    links = [injection[0].link_id]
+    nodes = [src, injection[0].dst]
+    current = injection[0].dst
+
+    max_steps = net.num_links + 1
+    for _ in range(max_steps):
+        if current == dst:
+            return Route(src, dst, tuple(links), tuple(nodes))
+        if not net.node(current).is_router:
+            raise RoutingError(
+                f"route {src}->{dst} entered non-router, non-destination node {current!r}"
+            )
+        port = tables.lookup(current, dst)
+        link = net.out_link_on_port(current, port)
+        links.append(link.link_id)
+        nodes.append(link.dst)
+        current = link.dst
+    raise RoutingError(f"routing loop detected for {src}->{dst}")
+
+
+class RouteSet:
+    """A collection of fixed routes, indexed by (source, destination).
+
+    This is the object every static metric (contention, channel load,
+    hop statistics, channel-dependency graph) is computed from.
+    """
+
+    def __init__(self, routes: Iterable[Route] = ()) -> None:
+        self._routes: dict[tuple[str, str], Route] = {}
+        for route in routes:
+            self.add(route)
+
+    def add(self, route: Route) -> None:
+        self._routes[(route.src, route.dst)] = route
+
+    def get(self, src: str, dst: str) -> Route:
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise RoutingError(f"no route {src}->{dst} in route set") from None
+
+    def has(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._routes
+
+    def routes(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    def pairs(self) -> list[tuple[str, str]]:
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    def link_usage(self) -> dict[str, list[Route]]:
+        """Map each link id to the routes traversing it."""
+        usage: dict[str, list[Route]] = {}
+        for route in self._routes.values():
+            for link in route.links:
+                usage.setdefault(link, []).append(route)
+        return usage
+
+    def router_link_usage(self, net: Network) -> dict[str, list[Route]]:
+        """Like :meth:`link_usage` but restricted to router-to-router links."""
+        usage = self.link_usage()
+        return {
+            l.link_id: usage.get(l.link_id, [])
+            for l in net.router_links()
+        }
+
+
+def all_pairs_routes(net: Network, tables: RoutingTable) -> RouteSet:
+    """Routes between every ordered pair of distinct end nodes."""
+    ends = net.end_node_ids()
+    return routes_for_pairs(net, tables, ((s, d) for s in ends for d in ends if s != d))
+
+
+def routes_for_pairs(
+    net: Network, tables: RoutingTable, pairs: Iterable[tuple[str, str]]
+) -> RouteSet:
+    """Routes for an explicit set of (source, destination) pairs."""
+    rs = RouteSet()
+    for src, dst in pairs:
+        rs.add(compute_route(net, tables, src, dst))
+    return rs

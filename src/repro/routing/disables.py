@@ -1,0 +1,111 @@
+"""ServerNet path-disable logic.
+
+Each ServerNet router has per-port disable registers that forbid forwarding
+onto a link regardless of what the (possibly corrupted) routing table says
+(§2.4).  The paper uses disables two ways:
+
+* Figure 2: breaking the cycles of a 3-cube by disabling chosen paths, at
+  the cost of uneven link utilization (bidirectional disables) or
+  non-reflexive routes (unidirectional disables).
+* §2.4: as a hardware backstop that *enforces* the loop-free fractahedral
+  routing even if a fault corrupts a routing table.
+
+A :class:`DisableSet` holds unidirectional disabled links; helper
+constructors express the bidirectional (double-ended arrow) form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.network.graph import Link, Network
+from repro.routing.base import RouteSet, RoutingTable
+
+__all__ = ["DisableSet", "apply_disables", "disables_respected"]
+
+
+class DisableSet:
+    """A set of unidirectional links that routing must never use."""
+
+    def __init__(self, link_ids: Iterable[str] = ()) -> None:
+        self._links: set[str] = set(link_ids)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bidirectional(cls, net: Network, pairs: Iterable[tuple[str, str]]) -> "DisableSet":
+        """Disable both directions between each pair of routers.
+
+        This is the "double-ended arrow" form of Figure 2: reflexive routes
+        are preserved, but link utilization becomes uneven.
+        """
+        ds = cls()
+        for a, b in pairs:
+            ds.add_between(net, a, b)
+            ds.add_between(net, b, a)
+        return ds
+
+    @classmethod
+    def unidirectional(cls, net: Network, pairs: Iterable[tuple[str, str]]) -> "DisableSet":
+        """Disable only the ``a -> b`` direction of each pair.
+
+        Twelve single-ended arrows can even out hypercube link utilization,
+        but make routing non-reflexive (the path A->B differs from B->A),
+        which increases the impact of a link failure (§2.2).
+        """
+        ds = cls()
+        for a, b in pairs:
+            ds.add_between(net, a, b)
+        return ds
+
+    # ------------------------------------------------------------------
+    def add(self, link_id: str) -> None:
+        self._links.add(link_id)
+
+    def add_between(self, net: Network, a: str, b: str) -> None:
+        links = net.links_between(a, b)
+        if not links:
+            raise ValueError(f"no link {a!r} -> {b!r} to disable")
+        for link in links:
+            self._links.add(link.link_id)
+
+    def is_disabled(self, link: Link | str) -> bool:
+        link_id = link.link_id if isinstance(link, Link) else link
+        return link_id in self._links
+
+    def allowed(self, link: Link) -> bool:
+        """Predicate suitable for :func:`~repro.routing.shortest_path.shortest_path_tables`."""
+        return link.link_id not in self._links
+
+    def link_ids(self) -> set[str]:
+        return set(self._links)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, link_id: str) -> bool:
+        return link_id in self._links
+
+
+def apply_disables(ds: DisableSet):
+    """Return an ``allowed(link)`` predicate from a disable set."""
+    return ds.allowed
+
+
+def disables_respected(
+    net: Network, obj: RoutingTable | RouteSet, disables: DisableSet
+) -> bool:
+    """Check that tables (or a route set) never use a disabled link.
+
+    This models the hardware enforcement of §2.4: if a corrupted table tries
+    to forward onto a disabled port, the router blocks it.  Here we verify
+    the software never asks for it in the first place.
+    """
+    if isinstance(obj, RouteSet):
+        return all(
+            not disables.is_disabled(link) for route in obj for link in route.links
+        )
+    for router, _dest, port in obj.items():
+        link = net.out_link_on_port(router, port)
+        if disables.is_disabled(link):
+            return False
+    return True

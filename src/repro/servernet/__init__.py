@@ -1,0 +1,32 @@
+"""ServerNet device models.
+
+The parts of the paper's §1.0 system description that sit outside pure
+topology: the 6-port router ASIC with its routing table and path-disable
+registers, the 50 MB/s byte-serial link, dual-fabric fault tolerance with
+dual-ported nodes, and the lightweight in-order protocol layer.
+"""
+
+from repro.servernet.constants import (
+    LINK_BYTES_PER_SECOND,
+    LINK_MAX_METERS,
+    ROUTER_PORTS,
+    link_cycles_for_bytes,
+)
+from repro.servernet.router_asic import RouterAsic, TableCorruption
+from repro.servernet.fabric import DualFabric
+from repro.servernet.protocol import SessionLayer, TransferOutcome
+from repro.servernet.transactions import Transaction, TransactionEngine
+
+__all__ = [
+    "DualFabric",
+    "LINK_BYTES_PER_SECOND",
+    "LINK_MAX_METERS",
+    "ROUTER_PORTS",
+    "RouterAsic",
+    "SessionLayer",
+    "Transaction",
+    "TransactionEngine",
+    "TableCorruption",
+    "TransferOutcome",
+    "link_cycles_for_bytes",
+]

@@ -1,0 +1,45 @@
+"""First-generation ServerNet physical constants (§1.0).
+
+"The first implementation of ServerNet (formerly called TNet) has
+byte-serial point-to-point 50 MB/sec links.  Full duplex operation is
+provided by pairing two unidirectional links in a cable that can reach up
+to 30 meters.  Complex networks can be constructed using 6-port router
+ASICs..."
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LINK_BYTES_PER_SECOND",
+    "LINK_MAX_METERS",
+    "ROUTER_PORTS",
+    "FLIT_BYTES",
+    "link_cycles_for_bytes",
+    "cycles_to_microseconds",
+]
+
+#: 50 MB/s byte-serial links.
+LINK_BYTES_PER_SECOND = 50_000_000
+
+#: Maximum cable length.
+LINK_MAX_METERS = 30
+
+#: Ports on the first-generation router ASIC.
+ROUTER_PORTS = 6
+
+#: Bytes represented by one simulator flit (byte-serial link, so 1 flit =
+#: 1 byte at full fidelity; experiments usually scale this up for speed).
+FLIT_BYTES = 1
+
+
+def link_cycles_for_bytes(num_bytes: int, flit_bytes: int = FLIT_BYTES) -> int:
+    """Simulator cycles needed to push a payload over one link."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    return -(-num_bytes // flit_bytes)  # ceil division
+
+
+def cycles_to_microseconds(cycles: int, flit_bytes: int = FLIT_BYTES) -> float:
+    """Convert simulated cycles to wall-clock time at 50 MB/s per link."""
+    bytes_moved = cycles * flit_bytes
+    return bytes_moved / LINK_BYTES_PER_SECOND * 1e6

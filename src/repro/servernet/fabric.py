@@ -1,0 +1,109 @@
+"""Dual-fabric fault tolerance (§1.0).
+
+"Full network fault-tolerance can be provided by configuring pairs of
+router fabrics with dual-ported nodes."  A :class:`DualFabric` holds two
+independent copies of a topology (the X and Y fabrics); every logical end
+node is dual-ported with one NIC on each.  Traffic normally uses X; when a
+route's path touches a failed component the transfer moves to Y.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable, compute_route
+
+__all__ = ["DualFabric"]
+
+
+class DualFabric:
+    """Two identical routed fabrics with dual-ported logical nodes.
+
+    Args:
+        build: zero-argument topology factory (called twice).
+        route: compiles routing tables for one fabric.
+
+    Logical node names are the end-node names of the built topology; the
+    same name exists in both fabrics.
+    """
+
+    def __init__(
+        self,
+        build: Callable[[], Network],
+        route: Callable[[Network], RoutingTable],
+    ) -> None:
+        self.x = build()
+        self.y = build()
+        self.x.name += "-X"
+        self.y.name += "-Y"
+        if self.x.end_node_ids() != self.y.end_node_ids():
+            raise ValueError("fabrics must be identical builds")
+        self.tables_x = route(self.x)
+        self.tables_y = route(self.y)
+        #: failed unidirectional link ids, per fabric
+        self.failed: dict[str, set[str]] = {"X": set(), "Y": set()}
+
+    # ------------------------------------------------------------------
+    def fail_cable(self, fabric: str, link_id: str) -> None:
+        """Fail both directions of a cable in one fabric."""
+        net = self._net(fabric)
+        link = net.link(link_id)
+        self.failed[fabric].add(link.link_id)
+        self.failed[fabric].add(link.reverse_id)
+
+    def fail_router(self, fabric: str, router_id: str) -> None:
+        """Fail a whole router (all its links) in one fabric."""
+        net = self._net(fabric)
+        for link in net.out_links(router_id):
+            self.failed[fabric].add(link.link_id)
+            self.failed[fabric].add(link.reverse_id)
+
+    # ------------------------------------------------------------------
+    def select_fabric(self, src: str, dst: str) -> str:
+        """Pick the fabric for a transfer: X unless its fixed path is broken.
+
+        Raises RuntimeError when both fabrics' paths are broken -- the
+        double-failure case dual fabrics do not protect against.
+        """
+        if self._path_ok("X", src, dst):
+            return "X"
+        if self._path_ok("Y", src, dst):
+            return "Y"
+        raise RuntimeError(f"no intact path {src}->{dst} on either fabric")
+
+    def route_transfer(self, src: str, dst: str):
+        """Return ``(fabric, route)`` for a transfer under current faults."""
+        fabric = self.select_fabric(src, dst)
+        net, tables = self._net(fabric), self._tables(fabric)
+        return fabric, compute_route(net, tables, src, dst)
+
+    def availability(self, pairs: Iterable[tuple[str, str]]) -> float:
+        """Fraction of transfers deliverable under the current fault set."""
+        total = 0
+        ok = 0
+        for src, dst in pairs:
+            total += 1
+            try:
+                self.select_fabric(src, dst)
+                ok += 1
+            except RuntimeError:
+                pass
+        return ok / total if total else 1.0
+
+    # ------------------------------------------------------------------
+    def _net(self, fabric: str) -> Network:
+        if fabric == "X":
+            return self.x
+        if fabric == "Y":
+            return self.y
+        raise ValueError(f"unknown fabric {fabric!r}")
+
+    def _tables(self, fabric: str) -> RoutingTable:
+        return self.tables_x if fabric == "X" else self.tables_y
+
+    def _path_ok(self, fabric: str, src: str, dst: str) -> bool:
+        net, tables = self._net(fabric), self._tables(fabric)
+        route = compute_route(net, tables, src, dst)
+        bad = self.failed[fabric]
+        return not any(link in bad for link in route.links)

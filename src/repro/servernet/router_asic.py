@@ -1,0 +1,121 @@
+"""The 6-port router ASIC: routing table + path-disable registers (§2.4).
+
+"The ServerNet routers also have path disable logic that can be set to
+enforce the elimination of the loops, even if the routing table is
+corrupted by a fault."
+
+:class:`RouterAsic` models one router's forwarding plane: a destination-
+indexed table and an input-port x output-port disable mask.  A forwarding
+request consults the table, then the mask; a corrupted entry that would
+take a disabled path is *blocked in hardware* rather than forwarded into a
+potential deadlock loop.
+"""
+
+from __future__ import annotations
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+from repro.routing.turns import TurnSet
+
+__all__ = ["RouterAsic", "TableCorruption"]
+
+
+class TableCorruption(Exception):
+    """Raised when a (deliberately) corrupted table hits the disable mask."""
+
+
+class RouterAsic:
+    """Forwarding plane of one ServerNet router.
+
+    Args:
+        net: the network the router lives in (for port geometry).
+        router_id: which router this ASIC is.
+        tables: the system routing tables (this router's slice is copied).
+        num_ports: port count (6 for first-generation parts).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        router_id: str,
+        tables: RoutingTable,
+        num_ports: int | None = None,
+    ) -> None:
+        node = net.node(router_id)
+        if not node.is_router:
+            raise ValueError(f"{router_id!r} is not a router")
+        self.net = net
+        self.router_id = router_id
+        self.num_ports = num_ports or node.num_ports
+        self._table: dict[str, int] = tables.entries(router_id)
+        #: disable mask: (in_port, out_port) pairs forwarding must never take.
+        #: in_port = -1 means "from any port" (a whole-output disable).
+        self._disables: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def disable_path(self, in_port: int, out_port: int) -> None:
+        """Disable forwarding from one input port to one output port."""
+        self._check_port(out_port)
+        if in_port != -1:
+            self._check_port(in_port)
+        self._disables.add((in_port, out_port))
+
+    def disable_output(self, out_port: int) -> None:
+        """Disable an output for traffic from every input."""
+        self.disable_path(-1, out_port)
+
+    def load_turn_disables(self, turns: TurnSet) -> int:
+        """Program the mask from a prohibited-turn set; returns entries added.
+
+        Turns are (in_link, out_link) pairs; only those passing through this
+        router apply.
+        """
+        added = 0
+        in_ports = {
+            l.link_id: l.dst_port for l in self.net.in_links(self.router_id)
+        }
+        out_ports = {
+            l.link_id: l.src_port for l in self.net.out_links(self.router_id)
+        }
+        for in_link, out_link in turns.turns():
+            if in_link in in_ports and out_link in out_ports:
+                self.disable_path(in_ports[in_link], out_ports[out_link])
+                added += 1
+        return added
+
+    def corrupt_entry(self, dest: str, bad_port: int) -> None:
+        """Simulate a fault flipping a routing-table entry."""
+        self._check_port(bad_port)
+        self._table[dest] = bad_port
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def forward(self, in_port: int, dest: str) -> int:
+        """Resolve the output port for a packet, honouring the disables.
+
+        Raises:
+            TableCorruption: the table asked for a disabled path -- the
+                hardware blocks it instead of forwarding into a loop.
+            KeyError: no table entry for the destination.
+        """
+        out_port = self._table[dest]
+        if (-1, out_port) in self._disables or (in_port, out_port) in self._disables:
+            raise TableCorruption(
+                f"router {self.router_id}: table sends {dest!r} from port "
+                f"{in_port} to disabled path -> port {out_port}"
+            )
+        return out_port
+
+    def is_path_disabled(self, in_port: int, out_port: int) -> bool:
+        return (-1, out_port) in self._disables or (in_port, out_port) in self._disables
+
+    @property
+    def num_disables(self) -> int:
+        return len(self._disables)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise ValueError(f"port {port} out of range 0..{self.num_ports - 1}")

@@ -1,0 +1,53 @@
+"""Cycle-driven flit-level wormhole network simulator.
+
+The paper's §4.0 promises "simulations of large topologies in order to
+better understand network performance under heavy loading"; this package
+is that simulator.  It models ServerNet-style routers -- input FIFO
+buffers, a non-blocking crossbar, per-output round-robin arbitration,
+credit (buffer-space) flow control -- with wormhole switching: the head
+flit routes, body flits follow its path, and the tail releases it.
+
+Crucially, the simulator does *not* prevent deadlock: if the routing
+tables contain channel-dependency cycles, the simulation deadlocks exactly
+like Figure 1, and the runtime wait-for detector reports the cycle.  An
+optional virtual-channel mode reproduces the Dally & Seitz alternative the
+paper rejects on cost grounds (§2.1).
+"""
+
+from repro.sim.engine import DeadlockDetected, SimConfig
+from repro.sim.packet import Flit, FlitKind, Packet
+from repro.sim.network_sim import WormholeSim
+from repro.sim.stats import SimStats
+from repro.sim.trace import SimTrace, TraceEvent
+from repro.sim.traffic import (
+    TrafficGenerator,
+    explicit_traffic,
+    hotspot_traffic,
+    pairs_traffic,
+    permutation_traffic,
+    uniform_traffic,
+)
+from repro.sim.fault import LinkFault
+from repro.sim.sweep import LoadPoint, find_saturation, latency_curve
+
+__all__ = [
+    "DeadlockDetected",
+    "Flit",
+    "FlitKind",
+    "LinkFault",
+    "LoadPoint",
+    "Packet",
+    "SimConfig",
+    "SimStats",
+    "SimTrace",
+    "TraceEvent",
+    "TrafficGenerator",
+    "WormholeSim",
+    "explicit_traffic",
+    "find_saturation",
+    "latency_curve",
+    "hotspot_traffic",
+    "pairs_traffic",
+    "permutation_traffic",
+    "uniform_traffic",
+]

@@ -1,0 +1,81 @@
+"""Simulation configuration and the deadlock exception."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeadlockDetected", "SimConfig"]
+
+
+class DeadlockDetected(Exception):
+    """Raised (when configured) once the wait-for graph closes a cycle.
+
+    Attributes:
+        cycle: the channels on the deadlock cycle.
+        packets: the packet ids holding them.
+        at_cycle: simulation time of detection.
+    """
+
+    def __init__(self, cycle: list[str], packets: list, at_cycle: int) -> None:
+        super().__init__(
+            f"wormhole deadlock at cycle {at_cycle}: "
+            f"{len(cycle)} channels in a wait cycle ({' -> '.join(cycle[:6])}...)"
+        )
+        self.cycle = cycle
+        self.packets = packets
+        self.at_cycle = at_cycle
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the wormhole simulator.
+
+    Attributes:
+        buffer_depth: input FIFO capacity in flits per (channel, VC) --
+            ServerNet routers have small per-port FIFOs, which is why worms
+            span many routers and deadlock matters.
+        switching: ``"wormhole"`` (the head routes before the tail arrives,
+            §2.0) or ``"store_and_forward"`` (a packet must be fully
+            buffered at each hop before moving on; needs ``buffer_depth``
+            >= packet size and multiplies latency by the hop count).
+        router_delay: extra cycles each flit spends inside a router's
+            pipeline before appearing in the next input FIFO (0 = the
+            idealized single-cycle router; real ASICs pay several
+            byte-times per hop, which is why the paper counts "router
+            delays").
+        vc_count: virtual channels per physical channel (1 = plain
+            ServerNet; >1 models the Dally & Seitz scheme the paper rejects
+            for its buffer cost).
+        stall_threshold: cycles without any flit movement (while packets
+            are in flight) before running deadlock detection.
+        deadlock_check_interval: additionally scan for wait-for cycles
+            among *blocked* channels every this many cycles, so a local
+            deadlock is caught even while unrelated traffic still moves
+            (a wait cycle among wormhole-held channels can never resolve).
+        raise_on_deadlock: raise :class:`DeadlockDetected` (True) or record
+            it in the stats and stop (False).
+        seed: base RNG seed for traffic generation.
+    """
+
+    buffer_depth: int = 4
+    vc_count: int = 1
+    switching: str = "wormhole"  # or "store_and_forward"
+    router_delay: int = 0
+    stall_threshold: int = 64
+    deadlock_check_interval: int = 16
+    raise_on_deadlock: bool = True
+    seed: int = 1996
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        if self.vc_count < 1:
+            raise ValueError("vc_count must be >= 1")
+        if self.stall_threshold < 1:
+            raise ValueError("stall_threshold must be >= 1")
+        if self.deadlock_check_interval < 1:
+            raise ValueError("deadlock_check_interval must be >= 1")
+        if self.switching not in ("wormhole", "store_and_forward"):
+            raise ValueError(f"unknown switching mode {self.switching!r}")
+        if self.router_delay < 0:
+            raise ValueError("router_delay must be >= 0")

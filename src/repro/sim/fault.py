@@ -1,0 +1,42 @@
+"""Link fault injection.
+
+ServerNet's dual-fabric designs exist because links fail; the simulator
+lets experiments take links down mid-run and observe the consequences
+(blocked worms with static tables; clean failover when traffic moves to
+the second fabric).
+"""
+
+from __future__ import annotations
+
+from repro.network.graph import Network
+
+__all__ = ["LinkFault"]
+
+
+class LinkFault:
+    """A schedule of unidirectional link failures."""
+
+    def __init__(self) -> None:
+        self._fail_at: dict[str, int] = {}
+
+    def fail_link(self, link_id: str, at_cycle: int = 0) -> "LinkFault":
+        """Fail one unidirectional channel from ``at_cycle`` onward."""
+        self._fail_at[link_id] = at_cycle
+        return self
+
+    def fail_cable(self, net: Network, link_id: str, at_cycle: int = 0) -> "LinkFault":
+        """Fail both directions of a cable (the common physical failure)."""
+        link = net.link(link_id)
+        self._fail_at[link.link_id] = at_cycle
+        self._fail_at[link.reverse_id] = at_cycle
+        return self
+
+    def is_down(self, link_id: str, cycle: int) -> bool:
+        at = self._fail_at.get(link_id)
+        return at is not None and cycle >= at
+
+    def failed_links(self) -> dict[str, int]:
+        return dict(self._fail_at)
+
+    def __len__(self) -> int:
+        return len(self._fail_at)

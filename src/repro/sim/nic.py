@@ -1,0 +1,77 @@
+"""End-node network interfaces: source queues and sinks.
+
+Sources serialize queued packets one flit per cycle onto their injection
+link; sinks consume at full rate (end nodes never back-pressure in this
+model) and verify ServerNet's in-order delivery contract per source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.packet import Flit, Packet
+
+__all__ = ["SinkState", "SourceState"]
+
+
+class SourceState:
+    """Per-end-node injection state."""
+
+    __slots__ = ("node_id", "queue", "cursor", "flits_left")
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.queue: deque[Packet] = deque()
+        self.cursor: list[Flit] = []
+        self.flits_left = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        self.queue.append(packet)
+
+    def next_flit(self) -> Flit | None:
+        """The flit this source would inject next (without consuming it)."""
+        if not self.cursor and self.queue:
+            packet = self.queue[0]
+            self.cursor = packet.flits()
+        return self.cursor[0] if self.cursor else None
+
+    def consume_flit(self, cycle: int) -> Flit:
+        """Commit the injection of :meth:`next_flit`."""
+        flit = self.cursor.pop(0)
+        packet = self.queue[0]
+        if packet.injected is None:
+            packet.injected = cycle
+        if not self.cursor:
+            self.queue.popleft()
+        return flit
+
+    @property
+    def backlog(self) -> int:
+        """Packets waiting (including the one mid-injection)."""
+        return len(self.queue)
+
+
+class SinkState:
+    """Per-end-node delivery state with in-order verification."""
+
+    __slots__ = ("node_id", "last_sequence", "violations", "delivered_packets")
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        #: last sequence number seen per source node
+        self.last_sequence: dict[str, int] = {}
+        self.violations: list[str] = []
+        self.delivered_packets = 0
+
+    def deliver(self, packet: Packet, cycle: int) -> None:
+        """Record a completed packet and check ordering per source."""
+        packet.delivered = cycle
+        self.delivered_packets += 1
+        last = self.last_sequence.get(packet.src, -1)
+        if packet.sequence <= last:
+            self.violations.append(
+                f"out-of-order: {packet.src}->{self.node_id} seq {packet.sequence}"
+                f" after {last} (cycle {cycle})"
+            )
+        else:
+            self.last_sequence[packet.src] = packet.sequence

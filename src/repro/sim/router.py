@@ -1,0 +1,43 @@
+"""Router output-port state: wormhole holds and round-robin arbitration.
+
+A ServerNet router's crossbar is non-blocking, so the only switch-level
+resource contention is per *output*: one worm holds an output (virtual)
+channel from the cycle its head is switched until its tail passes.  Free
+outputs are granted to requesting heads round-robin, the classic fair
+arbiter.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OutputPort"]
+
+
+class OutputPort:
+    """Allocation state for one output (link, VC)."""
+
+    __slots__ = ("key", "holder", "_rr_index")
+
+    def __init__(self, key: tuple[str, int]) -> None:
+        self.key = key
+        #: input (link, VC) whose worm currently owns this output, or None
+        self.holder: tuple[str, int] | None = None
+        self._rr_index = 0
+
+    def arbitrate(self, head_requesters: list[tuple[str, int]]) -> tuple[str, int] | None:
+        """Pick one head to acquire a free output (round-robin, stable order).
+
+        ``head_requesters`` must be sorted for determinism; the round-robin
+        pointer rotates the start position so long-term service is fair.
+        """
+        if self.holder is not None:
+            raise RuntimeError(f"output {self.key} already held")
+        if not head_requesters:
+            return None
+        start = self._rr_index % len(head_requesters)
+        winner = head_requesters[start]
+        self._rr_index += 1
+        self.holder = winner
+        return winner
+
+    def release(self) -> None:
+        self.holder = None

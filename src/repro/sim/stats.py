@@ -1,0 +1,68 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Counters and distributions collected by a simulation run."""
+
+    cycles: int = 0
+    packets_offered: int = 0
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_moved: int = 0
+    flits_delivered: int = 0
+    latencies: list[int] = field(default_factory=list)
+    link_flits: dict[str, int] = field(default_factory=dict)
+    peak_occupied_buffers: int = 0
+    deadlock_cycle: list[str] | None = None
+    deadlock_at: int | None = None
+    in_order_violations: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def deadlocked(self) -> bool:
+        return self.deadlock_cycle is not None
+
+    @property
+    def avg_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+
+    @property
+    def p99_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(self.latencies, 99))
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latencies) if self.latencies else 0
+
+    def throughput_flits_per_cycle(self) -> float:
+        """Delivered flits per cycle (network-wide)."""
+        return self.flits_delivered / self.cycles if self.cycles else 0.0
+
+    def accepted_load(self, num_nodes: int) -> float:
+        """Delivered flits per node per cycle -- the classic accepted-traffic axis."""
+        return self.throughput_flits_per_cycle() / num_nodes if num_nodes else 0.0
+
+    def summary(self) -> str:
+        parts = [
+            f"cycles={self.cycles}",
+            f"delivered={self.packets_delivered}/{self.packets_offered}",
+            f"avg_lat={self.avg_latency:.1f}",
+            f"p99_lat={self.p99_latency:.1f}",
+            f"thpt={self.throughput_flits_per_cycle():.3f} flits/cyc",
+        ]
+        if self.deadlocked:
+            parts.append(f"DEADLOCK@{self.deadlock_at}")
+        if self.in_order_violations:
+            parts.append(f"ORDER-VIOLATIONS={len(self.in_order_violations)}")
+        return " ".join(parts)

@@ -1,0 +1,128 @@
+"""Load sweeps and saturation search.
+
+The quantitative summary of a topology's "ability to handle load
+imbalances" (§3.0) is its saturation point: the offered load where
+latency departs from the zero-load regime.  :func:`find_saturation`
+binary-searches it; :func:`latency_curve` produces the classic
+latency-vs-offered-load series the §4.0 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+from repro.sim.engine import SimConfig
+from repro.sim.network_sim import WormholeSim
+from repro.sim.traffic import uniform_traffic
+
+__all__ = ["LoadPoint", "find_saturation", "latency_curve"]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One measurement of a load sweep."""
+
+    offered_rate: float
+    accepted_flits_per_node_cycle: float
+    avg_latency: float
+    p99_latency: float
+    saturated: bool
+
+
+def _measure(
+    net: Network,
+    tables: RoutingTable,
+    rate: float,
+    cycles: int,
+    packet_size: int,
+    seed: int,
+    zero_load: float,
+    factor: float,
+) -> LoadPoint:
+    traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
+    sim = WormholeSim(
+        net,
+        tables,
+        traffic,
+        SimConfig(buffer_depth=4, raise_on_deadlock=False, stall_threshold=400),
+    )
+    stats = sim.run(cycles, drain=False)
+    warmup = cycles // 5
+    steady = [
+        p.latency
+        for p in sim.packets.values()
+        if p.delivered is not None and p.created >= warmup
+    ]
+    avg = float(np.mean(steady)) if steady else float("inf")
+    p99 = float(np.percentile(steady, 99)) if steady else float("inf")
+    return LoadPoint(
+        offered_rate=rate,
+        accepted_flits_per_node_cycle=stats.accepted_load(net.num_end_nodes),
+        avg_latency=avg,
+        p99_latency=p99,
+        saturated=avg > factor * zero_load,
+    )
+
+
+def _zero_load_latency(net: Network, tables: RoutingTable, packet_size: int) -> float:
+    from repro.metrics.hops import hop_stats_sampled
+
+    stats = hop_stats_sampled(net, tables, max_pairs=2000)
+    # mean links = mean hops + 1; zero-load = links + flits - 2
+    return stats.mean + 1 + packet_size - 2
+
+
+def latency_curve(
+    net: Network,
+    tables: RoutingTable,
+    rates: tuple[float, ...],
+    cycles: int = 2000,
+    packet_size: int = 8,
+    seed: int = 1996,
+    saturation_factor: float = 3.0,
+) -> list[LoadPoint]:
+    """Measure steady-state latency at each offered rate."""
+    zero = _zero_load_latency(net, tables, packet_size)
+    return [
+        _measure(net, tables, r, cycles, packet_size, seed, zero, saturation_factor)
+        for r in rates
+    ]
+
+
+def find_saturation(
+    net: Network,
+    tables: RoutingTable,
+    cycles: int = 2000,
+    packet_size: int = 8,
+    seed: int = 1996,
+    saturation_factor: float = 3.0,
+    resolution: float = 0.002,
+    max_rate: float = 0.5,
+) -> float:
+    """Binary-search the offered rate where latency exceeds
+    ``saturation_factor`` x the zero-load average.
+
+    Returns the highest tested rate that is still *unsaturated* (to within
+    ``resolution``).  Deterministic for fixed arguments.
+    """
+    zero = _zero_load_latency(net, tables, packet_size)
+
+    def saturated(rate: float) -> bool:
+        return _measure(
+            net, tables, rate, cycles, packet_size, seed, zero, saturation_factor
+        ).saturated
+
+    low, high = 0.0, max_rate
+    if not saturated(max_rate):
+        return max_rate
+    while high - low > resolution:
+        mid = (low + high) / 2
+        if saturated(mid):
+            high = mid
+        else:
+            low = mid
+    return low

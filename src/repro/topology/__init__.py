@@ -1,0 +1,40 @@
+"""Topology builders.
+
+Every builder returns a :class:`~repro.network.graph.Network` of routers
+with a fixed radix (6 by default, the first-generation ServerNet router
+ASIC) plus attached end nodes.  Builders record enough structural metadata
+in node/network ``attrs`` for the matching routing algorithms to compile
+their tables (grid coordinates, hypercube addresses, fat-tree levels...).
+"""
+
+from repro.topology.butterfly import butterfly, butterfly_tables
+from repro.topology.mesh import mesh
+from repro.topology.torus import torus
+from repro.topology.ring import ring
+from repro.topology.star import star
+from repro.topology.tree import binary_tree, kary_tree
+from repro.topology.hypercube import hypercube
+from repro.topology.ccc import cube_connected_cycles
+from repro.topology.shuffle_exchange import shuffle_exchange
+from repro.topology.fully_connected import fully_connected_assembly
+from repro.topology.fattree import fat_tree, fat_tree_tables
+from repro.topology.registry import available_topologies, build_topology
+
+__all__ = [
+    "available_topologies",
+    "binary_tree",
+    "butterfly",
+    "butterfly_tables",
+    "build_topology",
+    "cube_connected_cycles",
+    "fat_tree",
+    "fat_tree_tables",
+    "fully_connected_assembly",
+    "hypercube",
+    "kary_tree",
+    "mesh",
+    "ring",
+    "shuffle_exchange",
+    "star",
+    "torus",
+]

@@ -1,0 +1,69 @@
+"""Cube-connected cycles (CCC).
+
+One of the classic MPP topologies the paper's background section lists
+(§2.0).  Each corner of a d-cube is replaced by a ring of d routers; router
+(c, i) owns dimension i of corner c.  CCC keeps node degree constant (3
+fabric ports) at the cost of diameter, so it fits 6-port routers with room
+for end nodes -- but like any looped network it needs deadlock-aware
+routing, which the deadlock experiments demonstrate.
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["cube_connected_cycles"]
+
+
+def cube_connected_cycles(
+    dimensions: int,
+    nodes_per_router: int = 1,
+    router_radix: int = 6,
+) -> Network:
+    """Build a d-dimensional cube-connected cycles network.
+
+    Args:
+        dimensions: cube order d (>= 2); yields ``d * 2**d`` routers.
+        nodes_per_router: end nodes per router.
+        router_radix: must fit 3 fabric ports (2 ring + 1 cube) plus nodes.
+    """
+    if dimensions < 2:
+        raise ValueError("CCC needs dimensions >= 2")
+    needed = 3 + nodes_per_router if dimensions > 2 else 3 + nodes_per_router
+    if needed > router_radix:
+        raise ValueError(f"CCC router needs {needed} ports > radix {router_radix}")
+
+    b = NetworkBuilder(f"ccc{dimensions}d", router_radix)
+    net = b.net
+    net.attrs["topology"] = "ccc"
+    net.attrs["dimensions"] = dimensions
+    net.attrs["nodes_per_router"] = nodes_per_router
+
+    def rid(corner: int, pos: int) -> str:
+        return f"C{format(corner, f'0{dimensions}b')}.{pos}"
+
+    size = 1 << dimensions
+    for corner in range(size):
+        for pos in range(dimensions):
+            b.router(rid(corner, pos), corner=corner, pos=pos)
+
+    # Rings around each corner.
+    for corner in range(size):
+        for pos in range(dimensions):
+            nxt = (pos + 1) % dimensions
+            if dimensions == 2 and nxt < pos:
+                continue  # a 2-ring is a single duplex cable
+            b.cable(rid(corner, pos), rid(corner, nxt), ring=True)
+
+    # Cube links: router (c, i) to (c ^ 2**i, i).
+    for corner in range(size):
+        for pos in range(dimensions):
+            peer = corner ^ (1 << pos)
+            if peer > corner:
+                b.cable(rid(corner, pos), rid(peer, pos), dim=pos)
+
+    for corner in range(size):
+        for pos in range(dimensions):
+            b.attach_end_nodes(rid(corner, pos), nodes_per_router)
+    return net

@@ -1,0 +1,72 @@
+"""Fully-connected router assemblies (Figure 3).
+
+The basic building block of fractahedral networks: take M routers, cable
+every pair, and fill the remaining ports with end nodes.  For 6-port
+routers the paper tabulates:
+
+    M   end ports   max link contention
+    2      10            5:1
+    3      12            4:1
+    4      12            3:1
+    5      10            2:1
+    6       6            1:1
+
+M=3 and M=4 both give twelve ports, but the four-router assembly (the
+tetrahedron, Figure 4) has the lower 3:1 contention and routes on exactly
+two destination-address bits -- hence the fractahedron is built from it.
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["fully_connected_assembly", "assembly_end_ports"]
+
+
+def assembly_end_ports(num_routers: int, router_radix: int = 6) -> int:
+    """End-node ports offered by a fully-connected M-router assembly.
+
+    Each router spends ``M - 1`` ports on its peers, so the assembly offers
+    ``M * (radix - M + 1)`` ports -- the "Ports" column of Figure 3.
+    """
+    if not 2 <= num_routers <= router_radix + 1:
+        raise ValueError(
+            f"cannot fully connect {num_routers} routers of radix {router_radix}"
+        )
+    return num_routers * (router_radix - num_routers + 1)
+
+
+def fully_connected_assembly(
+    num_routers: int,
+    router_radix: int = 6,
+    fill_nodes: bool = True,
+    name_prefix: str = "R",
+) -> Network:
+    """Build a fully-connected assembly of ``num_routers`` routers.
+
+    Args:
+        num_routers: assembly size M (2..radix+1; at radix+1 no node ports
+            remain).
+        router_radix: router port budget.
+        fill_nodes: attach an end node to every remaining port (Figure 3's
+            configurations); set False to leave ports free for hierarchy.
+        name_prefix: router id prefix.
+    """
+    free_per_router = router_radix - (num_routers - 1)
+    if free_per_router < 0:
+        raise ValueError(
+            f"{num_routers} fully-connected routers need radix >= {num_routers - 1}"
+        )
+
+    b = NetworkBuilder(f"assembly{num_routers}", router_radix)
+    net = b.net
+    net.attrs["topology"] = "fully_connected_assembly"
+    net.attrs["assembly_size"] = num_routers
+
+    ids = [b.router(f"{name_prefix}{i}", corner=i) for i in range(num_routers)]
+    b.fully_connect(ids)
+    if fill_nodes:
+        for rid in ids:
+            b.attach_end_nodes(rid, net.free_ports(rid))
+    return net

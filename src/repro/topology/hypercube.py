@@ -1,0 +1,100 @@
+"""Hypercube topology.
+
+§3.2 of the paper: a 64-node (6-D) hypercube needs a 7-port router -- one
+more than ServerNet has -- and even where a hypercube fits, breaking its
+cycles with path disables (Figure 2) gives uneven link utilization.  The
+builder enforces the port arithmetic and exposes the Figure 2 disable set.
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["hypercube", "figure2_routing", "router_id_for_addr"]
+
+
+def router_id_for_addr(addr: int, dimensions: int) -> str:
+    """Canonical router id: the corner's address in binary."""
+    return "H" + format(addr, f"0{dimensions}b")
+
+
+def hypercube(
+    dimensions: int,
+    nodes_per_router: int = 1,
+    router_radix: int = 6,
+) -> Network:
+    """Build a ``dimensions``-cube of routers.
+
+    Raises ValueError when the cube does not fit the router radix -- the
+    paper's point that a 6-D cube cannot be built from 6-port routers once
+    each router also needs a node port.
+    """
+    if dimensions < 1:
+        raise ValueError("dimensions must be >= 1")
+    needed = dimensions + nodes_per_router
+    if needed > router_radix:
+        raise ValueError(
+            f"a {dimensions}-cube router needs {dimensions} cube ports plus "
+            f"{nodes_per_router} node port(s) = {needed} > radix {router_radix} "
+            "(the paper's objection to hypercubes of 6-port routers)"
+        )
+
+    b = NetworkBuilder(f"hypercube{dimensions}d", router_radix)
+    net = b.net
+    net.attrs["topology"] = "hypercube"
+    net.attrs["dimensions"] = dimensions
+    net.attrs["nodes_per_router"] = nodes_per_router
+
+    size = 1 << dimensions
+    for addr in range(size):
+        b.router(router_id_for_addr(addr, dimensions), haddr=addr)
+    for addr in range(size):
+        for bit in range(dimensions):
+            peer = addr ^ (1 << bit)
+            if peer > addr:
+                b.cable(
+                    router_id_for_addr(addr, dimensions),
+                    router_id_for_addr(peer, dimensions),
+                    dim=bit,
+                )
+    for addr in range(size):
+        b.attach_end_nodes(router_id_for_addr(addr, dimensions), nodes_per_router)
+    return net
+
+
+def figure2_routing(net: Network):
+    """Figure 2: break the 3-cube's cycles with path disables.
+
+    Figure 2's six double-ended arrows cannot be whole-link removals --
+    deleting six of the twelve cube edges would disconnect it -- so they
+    restrict *through* traffic: links near the "top" node stay usable for
+    reaching that node but carry no transit, which is exactly why §2.2
+    observes that "the upper links are lightly utilized because they are
+    used only to communicate with the top node".
+
+    We synthesize such a disable set with
+    :func:`repro.routing.turns.break_cycles_with_turns`, preferring to
+    place disables at the highest-address routers (the "top" of the cube)
+    so the resulting utilization skew matches the figure.
+
+    Returns:
+        ``(turn_set, tables)``: the prohibited turns and the resulting
+        deadlock-free routing tables.
+    """
+    from repro.routing.shortest_path import rotating_tie_break
+    from repro.routing.turns import break_cycles_with_turns
+
+    ndim = net.attrs.get("dimensions")
+    if ndim is None:
+        raise ValueError("figure2_routing applies to hypercube networks")
+    # Prefer disabling through traffic at high-address ("upper") routers.
+    prefer = [
+        router_id_for_addr(addr, ndim) for addr in range((1 << ndim) - 1, -1, -1)
+    ]
+    # The baseline tables use the adversarial (but legal) rotating
+    # tie-break, so the disables must hold against unlucky table contents,
+    # not just against one benign compiler.
+    return break_cycles_with_turns(
+        net, prefer_routers=prefer, tie_break=rotating_tie_break
+    )

@@ -1,0 +1,77 @@
+"""2-D (and n-D) mesh topology.
+
+The paper's §3.1 configuration: a 6-port router spends four ports on the
+four mesh directions, leaving two for end nodes, so 64 nodes need a 6x6
+mesh (72 node ports) and a corner-to-corner transfer crosses 11 routers.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["mesh", "router_id_at"]
+
+
+def router_id_at(coord: Sequence[int]) -> str:
+    """Canonical router id for a grid coordinate."""
+    return "R" + ",".join(str(c) for c in coord)
+
+
+def mesh(
+    shape: Sequence[int],
+    nodes_per_router: int = 2,
+    router_radix: int = 6,
+    wrap: Sequence[int] = (),
+) -> Network:
+    """Build an n-dimensional mesh (or torus, for wrapped dimensions).
+
+    Args:
+        shape: per-dimension router counts, e.g. ``(6, 6)`` for the paper's
+            64-node mesh.
+        nodes_per_router: end nodes attached to every router (2 in §3.1).
+        router_radix: port budget; a 2-D mesh of 6-port routers fits
+            4 directions + 2 nodes exactly.
+        wrap: dimensions closed into rings (used by the torus builder).
+
+    Routers carry ``coord`` attributes; the network carries ``shape`` and
+    ``wrap`` for the dimension-order router.
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s < 2 for s in shape):
+        raise ValueError(f"mesh dimensions must be >= 2, got {shape}")
+    wrap = tuple(sorted(set(int(w) for w in wrap)))
+    for w in wrap:
+        if not 0 <= w < len(shape):
+            raise ValueError(f"wrap dimension {w} out of range for shape {shape}")
+
+    b = NetworkBuilder(
+        f"mesh{'x'.join(map(str, shape))}" + ("-torus" if wrap else ""), router_radix
+    )
+    net = b.net
+    net.attrs["topology"] = "torus" if wrap else "mesh"
+    net.attrs["shape"] = shape
+    net.attrs["wrap"] = wrap
+    net.attrs["nodes_per_router"] = nodes_per_router
+
+    for coord in product(*(range(s) for s in shape)):
+        b.router(router_id_at(coord), coord=coord)
+
+    # Cable each dimension; +direction from the lower coordinate.
+    for coord in product(*(range(s) for s in shape)):
+        for dim, size in enumerate(shape):
+            if coord[dim] + 1 < size:
+                nxt = list(coord)
+                nxt[dim] += 1
+                b.cable(router_id_at(coord), router_id_at(tuple(nxt)), dim=dim)
+            elif dim in wrap and size > 2:
+                nxt = list(coord)
+                nxt[dim] = 0
+                b.cable(router_id_at(coord), router_id_at(tuple(nxt)), dim=dim, wraparound=True)
+
+    for coord in product(*(range(s) for s in shape)):
+        b.attach_end_nodes(router_id_at(coord), nodes_per_router)
+    return net

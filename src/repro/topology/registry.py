@@ -1,0 +1,71 @@
+"""Name-indexed registry of topology builders (used by the CLI and tests)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.network.graph import Network
+
+__all__ = ["available_topologies", "build_topology", "register_topology"]
+
+_REGISTRY: dict[str, Callable[..., Network]] = {}
+
+
+def register_topology(name: str, builder: Callable[..., Network]) -> None:
+    """Register a builder under a CLI-visible name."""
+    if name in _REGISTRY:
+        raise ValueError(f"topology {name!r} already registered")
+    _REGISTRY[name] = builder
+
+
+def available_topologies() -> list[str]:
+    """Names of all registered topologies."""
+    _ensure_defaults()
+    return sorted(_REGISTRY)
+
+
+def build_topology(name: str, **params: Any) -> Network:
+    """Build a registered topology by name with keyword parameters."""
+    _ensure_defaults()
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return builder(**params)
+
+
+def _ensure_defaults() -> None:
+    if _REGISTRY:
+        return
+    from repro.core.fractahedron import fat_fractahedron, thin_fractahedron
+    from repro.topology.butterfly import butterfly
+    from repro.topology.ccc import cube_connected_cycles
+    from repro.topology.fattree import fat_tree
+    from repro.topology.fully_connected import fully_connected_assembly
+    from repro.topology.hypercube import hypercube
+    from repro.topology.mesh import mesh
+    from repro.topology.ring import ring
+    from repro.topology.shuffle_exchange import shuffle_exchange
+    from repro.topology.star import star
+    from repro.topology.torus import torus
+    from repro.topology.tree import binary_tree, kary_tree
+
+    for name, builder in {
+        "mesh": mesh,
+        "torus": torus,
+        "ring": ring,
+        "star": star,
+        "binary_tree": binary_tree,
+        "butterfly": butterfly,
+        "kary_tree": kary_tree,
+        "hypercube": hypercube,
+        "ccc": cube_connected_cycles,
+        "shuffle_exchange": shuffle_exchange,
+        "fully_connected": fully_connected_assembly,
+        "fat_tree": fat_tree,
+        "thin_fractahedron": thin_fractahedron,
+        "fat_fractahedron": fat_fractahedron,
+    }.items():
+        register_topology(name, builder)

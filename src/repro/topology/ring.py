@@ -1,0 +1,39 @@
+"""Ring topology.
+
+The simplest looped network: with wormhole routing and minimal paths it is
+the textbook deadlock case (Figure 1 of the paper is a four-router ring).
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["ring"]
+
+
+def ring(
+    num_routers: int,
+    nodes_per_router: int = 2,
+    router_radix: int = 6,
+) -> Network:
+    """Build a ring of routers, each with attached end nodes.
+
+    Routers carry ``coord=(i,)`` so dimension-order (ring) routing works;
+    the network is a 1-D wrapped mesh in disguise.
+    """
+    if num_routers < 3:
+        raise ValueError("a ring needs at least 3 routers")
+    b = NetworkBuilder(f"ring{num_routers}", router_radix)
+    net = b.net
+    net.attrs["topology"] = "ring"
+    net.attrs["shape"] = (num_routers,)
+    net.attrs["wrap"] = (0,)
+    net.attrs["nodes_per_router"] = nodes_per_router
+
+    ids = [b.router(f"R{i}", coord=(i,)) for i in range(num_routers)]
+    for i in range(num_routers):
+        b.cable(ids[i], ids[(i + 1) % num_routers], dim=0)
+    for rid in ids:
+        b.attach_end_nodes(rid, nodes_per_router)
+    return net

@@ -1,0 +1,58 @@
+"""Shuffle-exchange network.
+
+Another topology from the paper's background list (§2.0).  Routers are the
+2**d binary addresses; the *shuffle* cable joins ``a`` to ``rotate_left(a)``
+and the *exchange* cable joins ``a`` to ``a ^ 1``.  Degenerate self-loops
+(all-zero / all-one addresses shuffle to themselves) are skipped.
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["shuffle_exchange"]
+
+
+def _rotate_left(value: int, width: int) -> int:
+    return ((value << 1) | (value >> (width - 1))) & ((1 << width) - 1)
+
+
+def shuffle_exchange(
+    dimensions: int,
+    nodes_per_router: int = 1,
+    router_radix: int = 6,
+) -> Network:
+    """Build a shuffle-exchange network on ``2**dimensions`` routers."""
+    if dimensions < 2:
+        raise ValueError("shuffle-exchange needs dimensions >= 2")
+
+    b = NetworkBuilder(f"shufflex{dimensions}d", router_radix)
+    net = b.net
+    net.attrs["topology"] = "shuffle_exchange"
+    net.attrs["dimensions"] = dimensions
+    net.attrs["nodes_per_router"] = nodes_per_router
+
+    size = 1 << dimensions
+
+    def rid(addr: int) -> str:
+        return "S" + format(addr, f"0{dimensions}b")
+
+    for addr in range(size):
+        b.router(rid(addr), saddr=addr)
+
+    cabled: set[frozenset[int]] = set()
+
+    def cable_once(a: int, c: int, **attrs) -> None:
+        key = frozenset((a, c))
+        if a != c and key not in cabled:
+            cabled.add(key)
+            b.cable(rid(a), rid(c), **attrs)
+
+    for addr in range(size):
+        cable_once(addr, _rotate_left(addr, dimensions), kind="shuffle")
+        cable_once(addr, addr ^ 1, kind="exchange")
+
+    for addr in range(size):
+        b.attach_end_nodes(rid(addr), nodes_per_router)
+    return net

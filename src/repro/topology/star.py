@@ -1,0 +1,41 @@
+"""Star topology: one hub router with leaf routers around it.
+
+Loop-free (so deadlock-free) but the hub bounds both the bisection
+bandwidth and the fan-out -- the same root-bottleneck argument the paper
+makes against plain trees (§2.2).
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["star"]
+
+
+def star(
+    num_leaves: int,
+    nodes_per_leaf: int = 2,
+    router_radix: int = 6,
+) -> Network:
+    """Build a star: ``num_leaves`` leaf routers cabled to one hub.
+
+    The hub spends one port per leaf, so ``num_leaves`` must fit the radix.
+    """
+    if num_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    if num_leaves > router_radix:
+        raise ValueError(
+            f"{num_leaves} leaves exceed the hub's {router_radix} ports"
+        )
+    b = NetworkBuilder(f"star{num_leaves}", router_radix)
+    net = b.net
+    net.attrs["topology"] = "star"
+    net.attrs["nodes_per_router"] = nodes_per_leaf
+
+    hub = b.router("HUB", level=0)
+    for i in range(num_leaves):
+        leaf = b.router(f"L{i}", level=1)
+        b.cable(hub, leaf)
+        b.attach_end_nodes(leaf, nodes_per_leaf)
+    return net

@@ -1,0 +1,30 @@
+"""Torus topology (a mesh with every dimension wrapped).
+
+Tori have lower diameter than meshes but every dimension is a ring, so
+plain dimension-order routing leaves channel-dependency cycles -- the
+standard motivation for Dally & Seitz virtual channels, which the paper is
+trying to avoid (§2.1).  The deadlock package demonstrates the cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.graph import Network
+from repro.topology.mesh import mesh
+
+__all__ = ["torus"]
+
+
+def torus(
+    shape: Sequence[int],
+    nodes_per_router: int = 2,
+    router_radix: int = 6,
+) -> Network:
+    """Build an n-dimensional torus (all dimensions wrapped)."""
+    return mesh(
+        shape,
+        nodes_per_router=nodes_per_router,
+        router_radix=router_radix,
+        wrap=tuple(range(len(tuple(shape)))),
+    )

@@ -1,0 +1,68 @@
+"""Plain trees: binary and k-ary.
+
+Trees are free of routing loops (deadlock-free with any minimal routing)
+but concentrate all cross-traffic at the root; the fat tree (and the
+fractahedron) exist to fix that (§2.2, §3.3).
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["binary_tree", "kary_tree"]
+
+
+def binary_tree(
+    depth: int,
+    nodes_per_leaf: int = 2,
+    router_radix: int = 6,
+) -> Network:
+    """Complete binary tree of routers with end nodes at the leaves."""
+    return kary_tree(2, depth, nodes_per_leaf=nodes_per_leaf, router_radix=router_radix)
+
+
+def kary_tree(
+    arity: int,
+    depth: int,
+    nodes_per_leaf: int = 2,
+    router_radix: int = 6,
+) -> Network:
+    """Complete k-ary tree of router levels.
+
+    Args:
+        arity: children per internal router.
+        depth: number of router levels (depth 1 = a single router).
+        nodes_per_leaf: end nodes on each leaf router.
+        router_radix: must fit ``arity`` children plus one parent link
+            (and the leaves' end nodes).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    if arity + 1 > router_radix:
+        raise ValueError(f"arity {arity} + uplink exceeds radix {router_radix}")
+    if nodes_per_leaf + 1 > router_radix:
+        raise ValueError(f"{nodes_per_leaf} leaf nodes + uplink exceed radix")
+
+    b = NetworkBuilder(f"{arity}ary-tree-d{depth}", router_radix)
+    net = b.net
+    net.attrs["topology"] = "tree"
+    net.attrs["arity"] = arity
+    net.attrs["depth"] = depth
+
+    # Level 0 is the root; ids are "T{level}.{index}".
+    previous: list[str] = [b.router("T0.0", level=0)]
+    for level in range(1, depth):
+        current: list[str] = []
+        for parent_index, parent in enumerate(previous):
+            for child in range(arity):
+                rid = b.router(f"T{level}.{parent_index * arity + child}", level=level)
+                b.cable(parent, rid)
+                current.append(rid)
+        previous = current
+
+    for leaf in previous:
+        b.attach_end_nodes(leaf, nodes_per_leaf)
+    return net

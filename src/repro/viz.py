@@ -1,0 +1,96 @@
+"""Plain-text network rendering.
+
+Terminal-friendly pictures of the topologies, used by the CLI ``show``
+command and handy in notebooks/docs: a mesh draws as a grid, a
+fractahedron as its level/group/layer tree, a fat tree as its stages, and
+everything else as an adjacency summary.  Link annotations can overlay a
+metric (e.g. channel loads) on the structure.
+"""
+
+from __future__ import annotations
+
+from repro.network.graph import Network
+
+__all__ = ["render", "render_adjacency", "render_fractahedron", "render_mesh"]
+
+
+def render(net: Network) -> str:
+    """Best-effort structural picture for any built topology."""
+    topology = str(net.attrs.get("topology", ""))
+    if topology in ("mesh", "torus") and len(net.attrs.get("shape", ())) == 2:
+        return render_mesh(net)
+    if "fractahedron" in topology:
+        return render_fractahedron(net)
+    return render_adjacency(net)
+
+
+def render_mesh(net: Network) -> str:
+    """Draw a 2-D mesh/torus as a grid of routers with node counts."""
+    cols, rows = net.attrs["shape"]
+    wrap = net.attrs.get("wrap", ())
+    lines = [f"{net.name}: {cols}x{rows} {'torus' if wrap else 'mesh'}"]
+    for y in range(rows):
+        cells = []
+        for x in range(cols):
+            rid = f"R{x},{y}"
+            nodes = len(net.attached_end_nodes(rid))
+            cells.append(f"[{x},{y}:{nodes}n]")
+        lines.append(" -- ".join(cells))
+        if y + 1 < rows:
+            lines.append("   |".join(["  "] * cols).rstrip())
+    if wrap:
+        lines.append("(wrap-around links on dimensions "
+                     f"{', '.join(map(str, wrap))})")
+    return "\n".join(lines)
+
+
+def render_fractahedron(net: Network) -> str:
+    """Summarize a fractahedron's hierarchy: levels, groups, layers."""
+    levels = net.attrs["levels"]
+    fat = net.attrs.get("fat")
+    m = net.attrs.get("assembly_size", 4)
+    lines = [
+        f"{net.name}: {'fat' if fat else 'thin'} fractahedron, "
+        f"{levels} level(s), M={m} assemblies",
+        f"  end nodes: {net.num_end_nodes}   routers: {net.num_routers}",
+    ]
+    by_level: dict[int, dict[str, set]] = {}
+    fanouts = 0
+    for router in net.routers():
+        if router.attrs.get("fanout"):
+            fanouts += 1
+            continue
+        entry = by_level.setdefault(
+            router.attrs["level"], {"groups": set(), "layers": set()}
+        )
+        entry["groups"].add(router.attrs["group"])
+        entry["layers"].add(router.attrs["layer"])
+    for level in sorted(by_level, reverse=True):
+        entry = by_level[level]
+        groups = len(entry["groups"])
+        layers = len(entry["layers"])
+        marker = "top" if level == levels else f"L{level}"
+        lines.append(
+            f"  {marker:>4}: {groups} group(s) x {layers} layer(s) x {m} routers"
+            + ("   (up ports reserved)" if level == levels else "")
+        )
+    if fanouts:
+        lines.append(f"  fan-out stage: {fanouts} routers "
+                     f"({net.attrs.get('fanout_width')} nodes each)")
+    return "\n".join(lines)
+
+
+def render_adjacency(net: Network, max_rows: int = 40) -> str:
+    """Generic router adjacency listing with node counts."""
+    lines = [f"{net.name}: {net.num_routers} routers, {net.num_end_nodes} nodes"]
+    for i, router in enumerate(net.routers()):
+        if i >= max_rows:
+            lines.append(f"  ... {net.num_routers - max_rows} more routers")
+            break
+        rid = router.node_id
+        peers = [
+            l.dst for l in net.out_links(rid) if net.node(l.dst).is_router
+        ]
+        nodes = len(net.attached_end_nodes(rid))
+        lines.append(f"  {rid} ({nodes}n) -> {', '.join(peers) if peers else '-'}")
+    return "\n".join(lines)

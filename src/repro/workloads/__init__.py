@@ -1,0 +1,43 @@
+"""Workloads: traffic patterns and the paper's adversarial transfer sets.
+
+§3.0 frames the evaluation around commercial workloads where "it is not
+possible to know the data access patterns a priori" -- e.g. "an arbitrary
+set of four CPU nodes trying to communicate with an arbitrary set of four
+disk controller nodes over an extended period of time".  This package
+provides the generic patterns (uniform, permutations, hotspots), the
+database-style random set workload, and the exact adversarial sets behind
+each contention ratio in the paper.
+"""
+
+from repro.workloads.patterns import (
+    all_pairs,
+    all_to_one,
+    bit_reverse_permutation,
+    random_permutation,
+    ring_shift_permutation,
+    tornado_permutation,
+    transpose_permutation,
+)
+from repro.workloads.adversarial import (
+    fattree_12_to_1,
+    fracta_diagonal_4_to_1,
+    fracta_downlink_worst,
+    mesh_corner_turn,
+)
+from repro.workloads.database import DatabaseWorkload, random_cpu_disk_sets
+
+__all__ = [
+    "DatabaseWorkload",
+    "all_pairs",
+    "all_to_one",
+    "bit_reverse_permutation",
+    "fattree_12_to_1",
+    "fracta_diagonal_4_to_1",
+    "fracta_downlink_worst",
+    "mesh_corner_turn",
+    "random_cpu_disk_sets",
+    "random_permutation",
+    "ring_shift_permutation",
+    "tornado_permutation",
+    "transpose_permutation",
+]

@@ -1,0 +1,131 @@
+"""The paper's adversarial transfer sets, verbatim.
+
+Each function returns the exact simultaneous transfers the paper uses to
+exhibit a contention ratio, expressed against the canonical node naming of
+our builders:
+
+* §3.1 mesh: "simultaneous transfers from A1-F6, A2-E6, A3-D6, A4-C6, and
+  A5-B6.  All five of these transfers need to turn the same corner at A6.
+  With two nodes at each router, a total of ten transfers" -> 10:1.
+* §3.3 fat tree: "nodes 16-27 want to send data to nodes 48-63.  All
+  twelve transfers will contend for the single link" -> 12:1.
+* §3.4 fat fractahedron: "if nodes 6,7,14, and 15 are all trying to send
+  to nodes 54, 55, 62, and 63, all four transfers will attempt to use the
+  same diagonal link in the same layer of level 2" -> 4:1.
+* :func:`fracta_downlink_worst`: a pattern the paper does not list --
+  corner-aligned sources from many tetrahedrons to one destination
+  tetrahedron -- that loads an inter-level down link to 8:1.  Still better
+  than the fat tree's 12:1; EXPERIMENTS.md discusses the discrepancy with
+  the paper's claimed 4:1 worst case.
+"""
+
+from __future__ import annotations
+
+from repro.network.graph import Network
+from repro.routing.base import RouteSet
+
+__all__ = [
+    "fattree_12_to_1",
+    "fracta_diagonal_4_to_1",
+    "fracta_downlink_worst",
+    "mesh_corner_turn",
+    "worst_link_pattern",
+]
+
+
+def worst_link_pattern(net: Network, routes: RouteSet) -> list[tuple[str, str]]:
+    """The transfer set realizing a network's worst-case contention.
+
+    Finds the router-to-router link with the largest min(#sources,
+    #destinations) over the route set, then greedily matches distinct
+    sources to distinct destinations whose fixed routes all traverse it.
+    This is how the paper's "assume nodes X want to send to nodes Y"
+    examples are constructed, generalized to any routed topology (the
+    concrete node numbers depend on the static partitioning in use).
+    """
+    from repro.metrics.contention import link_contention
+
+    results = link_contention(net, routes)
+    worst = max(results.values(), key=lambda r: (r.contention, r.link_id))
+    link = worst.link_id
+
+    by_src: dict[str, list[str]] = {}
+    for route in routes:
+        if link in route.router_links:
+            by_src.setdefault(route.src, []).append(route.dst)
+
+    pairs: list[tuple[str, str]] = []
+    used_dests: set[str] = set()
+    # Scarce destinations first so the greedy matching stays maximal.
+    for src in sorted(by_src, key=lambda s: len(by_src[s])):
+        for dst in sorted(by_src[src]):
+            if dst not in used_dests:
+                used_dests.add(dst)
+                pairs.append((src, dst))
+                break
+    return pairs
+
+
+def mesh_corner_turn(net: Network) -> list[tuple[str, str]]:
+    """§3.1's ten corner-turning transfers on the 6x6 mesh.
+
+    Columns A-F map to x = 0..5 and rows 1-6 to y = 0..5; with row-first
+    (Y then X) dimension order, transfers from column A to row 6 all turn
+    at A6 = (0, 5).  Each router contributes both of its nodes.
+    """
+    shape = net.attrs.get("shape")
+    if shape != (6, 6):
+        raise ValueError("mesh_corner_turn is defined for the 6x6 mesh")
+
+    def nodes_at(x: int, y: int) -> list[str]:
+        return net.attached_end_nodes(f"R{x},{y}")
+
+    pairs: list[tuple[str, str]] = []
+    # A1-F6, A2-E6, A3-D6, A4-C6, A5-B6: (0, r) -> (5 - r, 5) for r = 0..4.
+    for r in range(5):
+        sources = nodes_at(0, r)
+        dests = nodes_at(5 - r, 5)
+        for s, d in zip(sources, dests):
+            pairs.append((s, d))
+    return pairs
+
+
+def fattree_12_to_1(net: Network) -> list[tuple[str, str]]:
+    """§3.3's twelve transfers: nodes 16-27 each send into nodes 48-63."""
+    if net.attrs.get("topology") != "fat_tree":
+        raise ValueError("fattree_12_to_1 is defined for fat trees")
+    if net.num_end_nodes < 64:
+        raise ValueError("needs the 64-node fat tree")
+    sources = [f"n{i}" for i in range(16, 28)]
+    dests = [f"n{i}" for i in range(48, 60)]  # 12 distinct of the 16
+    return list(zip(sources, dests))
+
+
+def fracta_diagonal_4_to_1(net: Network) -> list[tuple[str, str]]:
+    """§3.4's four transfers onto one level-2 layer diagonal."""
+    if "fractahedron" not in str(net.attrs.get("topology")):
+        raise ValueError("fracta_diagonal_4_to_1 is defined for fractahedrons")
+    return [
+        ("n6", "n54"),
+        ("n7", "n55"),
+        ("n14", "n62"),
+        ("n15", "n63"),
+    ]
+
+
+def fracta_downlink_worst(net: Network) -> list[tuple[str, str]]:
+    """Eight corner-3 sources from tetras 0-3 into destination tetra 7.
+
+    All eight routes ascend into layer 3 and funnel through the single
+    down link (layer 3, corner 3) -> (tetra 7, corner 3): the true worst
+    case our exhaustive contention search finds for the 64-node fat
+    fractahedron (8:1).
+    """
+    if net.attrs.get("topology") != "fat_fractahedron":
+        raise ValueError("fracta_downlink_worst is defined for fat fractahedrons")
+    sources = []
+    for tetra in range(4):
+        base = tetra * 8 + 3 * 2  # corner 3's two nodes
+        sources.extend([f"n{base}", f"n{base + 1}"])
+    dests = [f"n{56 + i}" for i in range(8)]  # all of tetra 7
+    return list(zip(sources, dests))

@@ -1,0 +1,89 @@
+"""Generic traffic patterns over ordered node lists.
+
+All functions return lists of (source, destination) pairs; indices are
+positions in the supplied node list, so the same pattern applies to any
+topology whose nodes are listed in canonical order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "all_pairs",
+    "all_to_one",
+    "bit_reverse_permutation",
+    "random_permutation",
+    "tornado_permutation",
+    "ring_shift_permutation",
+    "transpose_permutation",
+]
+
+
+def all_pairs(nodes: Sequence[str]) -> list[tuple[str, str]]:
+    """Every ordered pair of distinct nodes (uniform all-to-all)."""
+    return [(s, d) for s in nodes for d in nodes if s != d]
+
+
+def all_to_one(nodes: Sequence[str], target_index: int = 0) -> list[tuple[str, str]]:
+    """Everyone sends to one node (the hot-spot extreme)."""
+    target = nodes[target_index]
+    return [(n, target) for n in nodes if n != target]
+
+
+def ring_shift_permutation(nodes: Sequence[str], shift: int = 1) -> list[tuple[str, str]]:
+    """Node i sends to node (i + shift) mod N."""
+    n = len(nodes)
+    return [(nodes[i], nodes[(i + shift) % n]) for i in range(n) if shift % n != 0]
+
+
+def bit_reverse_permutation(nodes: Sequence[str]) -> list[tuple[str, str]]:
+    """Node i sends to bit-reverse(i); N must be a power of two."""
+    n = len(nodes)
+    if n & (n - 1):
+        raise ValueError("bit-reverse needs a power-of-two node count")
+    bits = n.bit_length() - 1
+    pairs = []
+    for i in range(n):
+        j = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+        if i != j:
+            pairs.append((nodes[i], nodes[j]))
+    return pairs
+
+
+def transpose_permutation(nodes: Sequence[str]) -> list[tuple[str, str]]:
+    """Node (hi, lo) sends to node (lo, hi); N must be an even power of two."""
+    n = len(nodes)
+    if n & (n - 1):
+        raise ValueError("transpose needs a power-of-two node count")
+    bits = n.bit_length() - 1
+    if bits % 2:
+        raise ValueError("transpose needs an even number of address bits")
+    half = bits // 2
+    pairs = []
+    for i in range(n):
+        hi, lo = divmod(i, 1 << half)
+        j = lo * (1 << half) + hi
+        if i != j:
+            pairs.append((nodes[i], nodes[j]))
+    return pairs
+
+
+def tornado_permutation(nodes: Sequence[str]) -> list[tuple[str, str]]:
+    """Tornado traffic: node i sends nearly half-way around the ring
+    (shift of ceil(N/2) - 1) -- the classic adversary for ring/torus
+    dimension-order routing, which it loads maximally in one direction."""
+    n = len(nodes)
+    return ring_shift_permutation(nodes, shift=max(1, -(-n // 2) - 1))
+
+
+def random_permutation(nodes: Sequence[str], seed: int = 1996) -> list[tuple[str, str]]:
+    """A random fixed-point-free-ish permutation (derangement not enforced;
+    self-pairs are dropped)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(nodes))
+    return [
+        (nodes[i], nodes[int(j)]) for i, j in enumerate(order) if i != int(j)
+    ]

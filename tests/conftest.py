@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+The 64-node study networks (and their all-pairs route sets) are expensive
+to rebuild per test, so they are session-scoped; tests must not mutate
+them.  Tests that need to mutate build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fractahedron import fat_fractahedron, thin_fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.routing.base import all_pairs_routes
+from repro.routing.dimension_order import dimension_order_tables
+from repro.topology.fattree import fat_tree, fat_tree_tables
+from repro.topology.mesh import mesh
+
+
+@pytest.fixture(scope="session")
+def mesh66():
+    """The paper's 6x6 mesh (72 node ports, 64 used conceptually)."""
+    return mesh((6, 6), nodes_per_router=2)
+
+
+@pytest.fixture(scope="session")
+def mesh66_tables(mesh66):
+    return dimension_order_tables(mesh66, order=(1, 0))
+
+
+@pytest.fixture(scope="session")
+def mesh66_routes(mesh66, mesh66_tables):
+    return all_pairs_routes(mesh66, mesh66_tables)
+
+
+@pytest.fixture(scope="session")
+def fattree64():
+    """The paper's 64-node 4-2 fat tree (28 routers)."""
+    return fat_tree(3, down=4, up=2)
+
+
+@pytest.fixture(scope="session")
+def fattree64_tables(fattree64):
+    return fat_tree_tables(fattree64)
+
+
+@pytest.fixture(scope="session")
+def fattree64_routes(fattree64, fattree64_tables):
+    return all_pairs_routes(fattree64, fattree64_tables)
+
+
+@pytest.fixture(scope="session")
+def fracta64():
+    """The paper's 64-node fat fractahedron (48 routers)."""
+    return fat_fractahedron(2)
+
+
+@pytest.fixture(scope="session")
+def fracta64_tables(fracta64):
+    return fractahedral_tables(fracta64)
+
+
+@pytest.fixture(scope="session")
+def fracta64_routes(fracta64, fracta64_tables):
+    return all_pairs_routes(fracta64, fracta64_tables)
+
+
+@pytest.fixture(scope="session")
+def thin64():
+    """A two-level thin fractahedron (64 nodes, 36 routers)."""
+    return thin_fractahedron(2)
+
+
+@pytest.fixture(scope="session")
+def thin64_tables(thin64):
+    return fractahedral_tables(thin64)
+
+
+@pytest.fixture(scope="session")
+def thin64_routes(thin64, thin64_tables):
+    return all_pairs_routes(thin64, thin64_tables)

@@ -1,0 +1,73 @@
+"""Unit tests for fractahedral addressing."""
+
+import pytest
+
+from repro.core.addressing import FractaAddress, decode_address, encode_address
+
+
+class TestFractaAddress:
+    def test_tetra_index_octal(self):
+        addr = FractaAddress(levels=3, child_path=(2, 5), corner=1, port=0)
+        assert addr.tetra_index == 2 * 8 + 5
+
+    def test_group_index(self):
+        addr = FractaAddress(levels=3, child_path=(2, 5), corner=0, port=0)
+        assert addr.group_index(1) == 21
+        assert addr.group_index(2) == 2
+        assert addr.group_index(3) == 0
+
+    def test_child_at_level(self):
+        addr = FractaAddress(levels=3, child_path=(2, 5), corner=0, port=0)
+        assert addr.child_at_level(2) == 5
+        assert addr.child_at_level(3) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FractaAddress(levels=2, child_path=(), corner=0, port=0)  # path too short
+        with pytest.raises(ValueError):
+            FractaAddress(levels=1, child_path=(), corner=4, port=0)
+        with pytest.raises(ValueError):
+            FractaAddress(levels=1, child_path=(), corner=0, port=2)
+        with pytest.raises(ValueError):
+            FractaAddress(levels=1, child_path=(), corner=0, port=0, fanout_index=2)
+        with pytest.raises(ValueError):
+            FractaAddress(levels=2, child_path=(8,), corner=0, port=0)
+
+
+class TestCodec:
+    def test_round_trip_no_fanout(self):
+        for value in range(64):
+            addr = decode_address(value, levels=2)
+            assert encode_address(addr) == value
+
+    def test_round_trip_with_fanout(self):
+        for value in range(0, 128, 7):
+            addr = decode_address(value, levels=2, fanout_width=2)
+            assert encode_address(addr) == value
+
+    def test_known_layout(self):
+        # node 14 (no fan-out, 2 levels): tetra 1, corner 3, port 0
+        addr = decode_address(14, levels=2)
+        assert addr.tetra_index == 1
+        assert addr.corner == 3
+        assert addr.port == 0
+
+    def test_paper_two_bit_corner_field(self):
+        """'routes packets based on exactly two bits' -- the corner field."""
+        for corner in range(4):
+            addr = decode_address(corner * 2, levels=1)
+            assert addr.corner == corner
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            decode_address(64, levels=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decode_address(-1, levels=1)
+
+    def test_fanout_field_is_lowest_bit(self):
+        a0 = decode_address(0, levels=1, fanout_width=2)
+        a1 = decode_address(1, levels=1, fanout_width=2)
+        assert a0.fanout_index == 0 and a1.fanout_index == 1
+        assert a0.corner == a1.corner == 0

@@ -1,0 +1,51 @@
+"""Unit tests for the Table 1 closed forms."""
+
+from repro.core.analysis import (
+    expected_avg_router_hops_64,
+    fat_bisection_links,
+    fat_max_router_hops,
+    max_nodes,
+    router_count,
+    thin_bisection_links,
+    thin_max_router_hops,
+)
+
+
+def test_max_nodes_table1():
+    """Table 1: maximum nodes 2 * 8^N (with the fan-out stage)."""
+    assert max_nodes(1) == 16
+    assert max_nodes(2) == 128
+    assert max_nodes(3) == 1024
+
+
+def test_max_nodes_without_fanout():
+    assert max_nodes(2, fanout_width=None) == 64
+
+
+def test_delays_table1():
+    """Table 1: 4N-2 (thin) and 3N-1 (fat) router hops."""
+    assert [thin_max_router_hops(n) for n in (1, 2, 3)] == [2, 6, 10]
+    assert [fat_max_router_hops(n) for n in (1, 2, 3)] == [2, 5, 8]
+
+
+def test_delays_with_fanout_match_paper_text():
+    """§2.2-§2.3: 1024 CPUs -> 12 delays thin, 10 fat (fan-out included)."""
+    assert thin_max_router_hops(3, include_fanout=True) == 12
+    assert fat_max_router_hops(3, include_fanout=True) == 10
+
+
+def test_bisection_table1():
+    assert all(thin_bisection_links(n) == 4 for n in (1, 2, 3, 4))
+    assert [fat_bisection_links(n) for n in (1, 2, 3)] == [4, 16, 64]
+
+
+def test_router_counts():
+    # 64-node (no fan-out) networks of Table 2 / our builds
+    assert router_count(2, fat=True) == 48
+    assert router_count(2, fat=False) == 36
+    assert router_count(1, fat=True) == 4
+    assert router_count(1, fat=True, fanout_width=2) == 12
+
+
+def test_expected_avg_hops_is_papers_4_3():
+    assert abs(expected_avg_router_hops_64() - 4.30) < 0.005

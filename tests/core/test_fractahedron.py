@@ -1,0 +1,133 @@
+"""Unit tests for the fractahedron builders."""
+
+import pytest
+
+from repro.core.fractahedron import (
+    FractaParams,
+    fanout_id,
+    fat_fractahedron,
+    fractahedron,
+    router_id,
+    thin_fractahedron,
+)
+from repro.core.analysis import router_count
+from repro.network.validate import validate_network
+
+
+class TestParams:
+    def test_node_counts(self):
+        assert FractaParams(1).num_nodes == 8
+        assert FractaParams(2).num_nodes == 64
+        assert FractaParams(2, fanout_width=2).num_nodes == 128
+        assert FractaParams(3, fanout_width=2).num_nodes == 1024
+
+    def test_layers(self):
+        p = FractaParams(3, fat=True)
+        assert [p.layers_at(k) for k in (1, 2, 3)] == [1, 4, 16]
+        t = FractaParams(3, fat=False)
+        assert [t.layers_at(k) for k in (1, 2, 3)] == [1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FractaParams(0)
+        with pytest.raises(ValueError):
+            FractaParams(2, router_radix=5)
+        with pytest.raises(ValueError):
+            FractaParams(2, fanout_width=0)
+
+
+class TestFat64:
+    def test_counts(self, fracta64):
+        assert fracta64.num_end_nodes == 64
+        assert fracta64.num_routers == 48  # Table 2
+
+    def test_validates(self, fracta64):
+        assert validate_network(fracta64, require_end_nodes=True) == []
+
+    def test_231_port_split(self, fracta64):
+        """Every level-1 router: 2 nodes + 3 intra + 1 up = 6 ports."""
+        for r in fracta64.routers():
+            if r.attrs["level"] == 1:
+                assert fracta64.free_ports(r.node_id) == 0
+
+    def test_top_level_up_reserved(self, fracta64):
+        for r in fracta64.routers():
+            if r.attrs["level"] == 2:
+                assert fracta64.free_ports(r.node_id) == 1
+
+    def test_tetra_fully_connected(self, fracta64):
+        for corner_a in range(4):
+            for corner_b in range(corner_a + 1, 4):
+                assert fracta64.links_between(
+                    router_id(1, 3, 0, corner_a), router_id(1, 3, 0, corner_b)
+                )
+
+    def test_layers_not_interconnected(self, fracta64):
+        """§2.3: the level-2 layers are 'not connected to each other'."""
+        for layer_a in range(4):
+            for layer_b in range(layer_a + 1, 4):
+                for ca in range(4):
+                    for cb in range(4):
+                        assert not fracta64.links_between(
+                            router_id(2, 0, layer_a, ca), router_id(2, 0, layer_b, cb)
+                        )
+
+    def test_corner_ascends_to_matching_layer(self, fracta64):
+        """Level-1 corner c's up link lands in level-2 layer c."""
+        for tetra in range(8):
+            for corner in range(4):
+                ups = [
+                    l.dst
+                    for l in fracta64.out_links(router_id(1, tetra, 0, corner))
+                    if fracta64.node(l.dst).attrs.get("level") == 2
+                ]
+                assert len(ups) == 1
+                assert fracta64.node(ups[0]).attrs["layer"] == corner
+
+    def test_layer_corner_owns_tetra_pair(self, fracta64):
+        """The paper's cabling: corner c's pair of cables serves tetras 2c, 2c+1."""
+        for corner in range(4):
+            served = set()
+            for layer in range(4):
+                rid = router_id(2, 0, layer, corner)
+                for link in fracta64.out_links(rid):
+                    peer = fracta64.node(link.dst)
+                    if peer.attrs.get("level") == 1:
+                        served.add(peer.attrs["group"])
+            assert served == {2 * corner, 2 * corner + 1}
+
+
+class TestThin:
+    def test_counts(self, thin64):
+        assert thin64.num_end_nodes == 64
+        assert thin64.num_routers == 36  # 8 tetras * 4 + 1 top tetra * 4
+
+    def test_single_uplink_per_tetra(self, thin64):
+        """Thin: only corner 0 connects up; three corners keep a free port."""
+        for tetra in range(8):
+            for corner in range(4):
+                rid = router_id(1, tetra, 0, corner)
+                expected_free = 0 if corner == 0 else 1
+                assert thin64.free_ports(rid) == expected_free
+
+    def test_router_count_formula(self):
+        for levels in (1, 2, 3):
+            for fat in (False, True):
+                net = fractahedron(FractaParams(levels, fat=fat))
+                assert net.num_routers == router_count(levels, fat)
+
+
+class TestFanout:
+    def test_fanout_stage(self):
+        net = fat_fractahedron(1, fanout_width=2)
+        assert net.num_end_nodes == 16  # the paper's 16-CPU system
+        assert net.num_routers == 4 + 8  # one tetra + 8 fan-out routers
+        assert net.has_node(fanout_id(0, 0, 0))
+
+    def test_fanout_router_serves_pair(self):
+        net = fat_fractahedron(1, fanout_width=2)
+        assert net.attached_end_nodes(fanout_id(0, 0, 0)) == ["n0", "n1"]
+
+    def test_1024_cpu_system(self):
+        net = thin_fractahedron(3, fanout_width=2)
+        assert net.num_end_nodes == 1024

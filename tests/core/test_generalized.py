@@ -1,0 +1,109 @@
+"""Unit tests for generalized fractahedrons (the conclusion's extension)."""
+
+import pytest
+
+from repro.core.generalized import (
+    GeneralFractaParams,
+    general_fractahedron,
+    general_router_id,
+    general_tables,
+)
+from repro.deadlock.analysis import certify_deadlock_free
+from repro.network.validate import validate_network
+from repro.routing.validate import validate_routing
+
+
+class TestParams:
+    def test_port_split(self):
+        p = GeneralFractaParams(2, assembly_size=3, router_radix=6)
+        assert p.down_ports == 3  # 6 - 2 intra - 1 up
+        assert p.children_per_group == 9
+        assert p.num_nodes == 81
+
+    def test_m5_radix6(self):
+        p = GeneralFractaParams(2, assembly_size=5, router_radix=6)
+        assert p.down_ports == 1
+        assert p.children_per_group == 5
+        assert p.num_nodes == 25
+
+    def test_radix8_tetra(self):
+        p = GeneralFractaParams(2, assembly_size=4, router_radix=8)
+        assert p.down_ports == 4
+        assert p.children_per_group == 16
+        assert p.num_nodes == 256
+
+    def test_paper_specialization(self):
+        p = GeneralFractaParams(2, assembly_size=4, router_radix=6)
+        assert p.down_ports == 2
+        assert p.children_per_group == 8
+        assert p.num_nodes == 64
+
+    def test_no_down_ports_rejected(self):
+        with pytest.raises(ValueError, match="down ports"):
+            GeneralFractaParams(2, assembly_size=6, router_radix=6)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            GeneralFractaParams(0)
+        with pytest.raises(ValueError):
+            GeneralFractaParams(2, assembly_size=1)
+
+
+@pytest.mark.parametrize(
+    "m,radix",
+    [(3, 6), (5, 6), (4, 8), (2, 4)],
+)
+def test_generalized_builds_validate_and_route(m, radix):
+    params = GeneralFractaParams(2, assembly_size=m, router_radix=radix, fat=True)
+    net = general_fractahedron(params)
+    assert net.num_end_nodes == params.num_nodes
+    assert net.num_routers == params.router_count()
+    errors = [i for i in validate_network(net, require_end_nodes=True)
+              if i.severity == "error"]
+    assert errors == []
+    tables = general_tables(net)
+    assert validate_routing(net, tables).ok
+
+
+@pytest.mark.parametrize("m,fat", [(3, True), (3, False), (5, True)])
+def test_generalized_deadlock_free(m, fat):
+    """§2.4's loop-freedom argument survives the generalization."""
+    net = general_fractahedron(
+        GeneralFractaParams(2, assembly_size=m, router_radix=6, fat=fat)
+    )
+    tables = general_tables(net)
+    assert certify_deadlock_free(net, tables).certified
+
+
+def test_max_hop_formula_generalizes():
+    """Fat max delay 3N-1 is assembly-size independent (one ascent router
+    per level, at most one lateral per assembly on the way down)."""
+    from repro.routing.validate import validate_routing as vr
+
+    for m in (3, 4, 5):
+        net = general_fractahedron(GeneralFractaParams(2, assembly_size=m, fat=True))
+        tables = general_tables(net)
+        report = vr(net, tables, max_router_hops=5)  # 3*2 - 1
+        assert report.ok
+        assert report.max_router_hops == 5
+
+
+def test_paper_identity():
+    """M=4 at radix 6 is byte-for-byte the paper's fractahedron."""
+    from repro.core.fractahedron import fat_fractahedron
+
+    general = general_fractahedron(GeneralFractaParams(2, assembly_size=4))
+    paper = fat_fractahedron(2)
+    assert general.node_ids() == paper.node_ids()
+    assert sorted(general.link_ids()) == sorted(paper.link_ids())
+    assert general.name == paper.name == "fat_fractahedron-N2"
+
+
+def test_thin_generalized_single_uplink():
+    net = general_fractahedron(
+        GeneralFractaParams(2, assembly_size=3, router_radix=6, fat=False)
+    )
+    for tetra in range(9):
+        for corner in range(3):
+            rid = general_router_id(1, tetra, 0, corner)
+            assert net.free_ports(rid) == (0 if corner == 0 else 1)

@@ -1,0 +1,84 @@
+"""Unit tests for fractahedral routing."""
+
+import pytest
+
+from repro.core.fractahedron import fat_fractahedron, router_id
+from repro.core.routing import fractahedral_tables
+from repro.routing.base import RoutingError, compute_route
+from repro.routing.validate import validate_routing
+
+
+class TestFat64Routing:
+    def test_all_pairs_deliverable_within_bound(self, fracta64, fracta64_tables):
+        report = validate_routing(fracta64, fracta64_tables, max_router_hops=5)
+        assert report.ok
+        assert report.max_router_hops == 5  # 3N-1 with N=2
+
+    def test_same_router_one_hop(self, fracta64, fracta64_tables):
+        route = compute_route(fracta64, fracta64_tables, "n0", "n1")
+        assert route.router_hops == 1
+
+    def test_same_tetra_two_hops(self, fracta64, fracta64_tables):
+        # n0 (tetra 0 corner 0) to n6 (tetra 0 corner 3)
+        route = compute_route(fracta64, fracta64_tables, "n0", "n6")
+        assert route.router_hops == 2
+
+    def test_ascent_goes_straight_up(self, fracta64, fracta64_tables):
+        """Fat fractahedron §2.3: 'packets always go straight up the tree
+        without taking any inter-tetrahedral links' on the way up."""
+        # n0 is on (tetra 0, corner 0); any remote route's second router
+        # must be the level-2 entry, with no level-1 lateral first.
+        route = compute_route(fracta64, fracta64_tables, "n0", "n63")
+        assert route.nodes[1] == router_id(1, 0, 0, 0)
+        assert fracta64.node(route.nodes[2]).attrs["level"] == 2
+
+    def test_descent_lands_in_source_corner_layer(self, fracta64, fracta64_tables):
+        # from corner 3 of tetra 0 (node 6): ascent enters layer 3, so the
+        # descent into tetra 7 arrives at corner 3.
+        route = compute_route(fracta64, fracta64_tables, "n6", "n56")
+        level2 = [n for n in route.nodes if fracta64.node(n).attrs.get("level") == 2]
+        assert all(fracta64.node(n).attrs["layer"] == 3 for n in level2)
+
+    def test_paper_diagonal_example(self, fracta64, fracta64_tables):
+        """§3.4: transfers 6->54, 7->55, 14->62, 15->63 share one diagonal."""
+        diagonal = None
+        for src, dst in (("n6", "n54"), ("n7", "n55"), ("n14", "n62"), ("n15", "n63")):
+            route = compute_route(fracta64, fracta64_tables, src, dst)
+            laterals = [
+                link
+                for link in route.router_links
+                if fracta64.link(link).attrs.get("kind") == "intra"
+                and fracta64.node(fracta64.link(link).src).attrs["level"] == 2
+            ]
+            assert len(laterals) == 1
+            diagonal = diagonal or laterals[0]
+            assert laterals[0] == diagonal
+
+    def test_thin_ascent_via_corner_zero(self, thin64, thin64_tables):
+        # node on corner 2 of tetra 0 must reach corner 0 before going up.
+        route = compute_route(thin64, thin64_tables, "n4", "n63")
+        assert router_id(1, 0, 0, 2) in route.nodes
+        assert router_id(1, 0, 0, 0) in route.nodes
+
+    def test_thin_worst_case_hops(self, thin64, thin64_tables):
+        report = validate_routing(thin64, thin64_tables, max_router_hops=6)
+        assert report.ok
+        assert report.max_router_hops == 6  # 4N-2 with N=2
+
+
+class TestFanoutRouting:
+    def test_16_cpu_max_four_hops(self):
+        """§2.2: 'a 16-CPU system ... maximum delay between CPUs of four
+        router hops -- two within the tetrahedron, and one each to get to
+        and from the tetrahedron.'"""
+        net = fat_fractahedron(1, fanout_width=2)
+        tables = fractahedral_tables(net)
+        report = validate_routing(net, tables, max_router_hops=4)
+        assert report.ok
+        assert report.max_router_hops == 4
+
+
+class TestErrors:
+    def test_non_fracta_network_rejected(self, mesh66):
+        with pytest.raises(RoutingError, match="fractahedron"):
+            fractahedral_tables(mesh66)

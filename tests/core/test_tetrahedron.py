@@ -1,0 +1,27 @@
+"""Unit tests for the tetrahedron building block (Figure 4)."""
+
+from repro.core.tetrahedron import TETRA_SIZE, tetrahedron
+
+
+def test_is_four_routers():
+    net = tetrahedron()
+    assert net.num_routers == TETRA_SIZE == 4
+
+
+def test_twelve_end_ports():
+    """Figure 3c/4: the tetrahedron offers twelve node ports."""
+    net = tetrahedron(fill_nodes=True)
+    assert net.num_end_nodes == 12
+
+
+def test_unfilled_keeps_three_free_ports_per_corner():
+    net = tetrahedron(fill_nodes=False)
+    assert all(net.free_ports(r) == 3 for r in net.router_ids())
+
+
+def test_corners_fully_connected():
+    net = tetrahedron(fill_nodes=False)
+    ids = net.router_ids()
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            assert net.links_between(a, b)

@@ -1,0 +1,74 @@
+"""Unit tests for channel dependency graphs."""
+
+from repro.deadlock.cdg import (
+    all_cycles,
+    channel_dependency_graph,
+    cycle_report,
+    find_cycle,
+    is_deadlock_free,
+)
+from repro.experiments.fig1_deadlock import build, clockwise_tables
+from repro.routing.base import all_pairs_routes
+from repro.routing.dimension_order import dimension_order_tables
+
+
+def test_figure1_loop_is_a_four_cycle():
+    net = build()
+    routes = all_pairs_routes(net, clockwise_tables(net))
+    cdg = channel_dependency_graph(net, routes)
+    cycle = find_cycle(cdg)
+    assert cycle is not None
+    assert len(cycle) == 4
+    assert not is_deadlock_free(cdg)
+
+
+def test_dimension_order_cdg_acyclic():
+    net = build()
+    routes = all_pairs_routes(net, dimension_order_tables(net))
+    cdg = channel_dependency_graph(net, routes)
+    assert is_deadlock_free(cdg)
+    assert find_cycle(cdg) is None
+
+
+def test_edges_carry_route_witnesses():
+    net = build()
+    routes = all_pairs_routes(net, clockwise_tables(net))
+    cdg = channel_dependency_graph(net, routes)
+    for _a, _b, data in cdg.edges(data=True):
+        assert data["routes"]
+        src, dst = data["routes"][0]
+        assert routes.has(src, dst)
+
+
+def test_witness_cap():
+    net = build()
+    routes = all_pairs_routes(net, clockwise_tables(net))
+    cdg = channel_dependency_graph(net, routes)
+    assert all(len(d["routes"]) <= 4 for _a, _b, d in cdg.edges(data=True))
+
+
+def test_all_cycles_enumeration_and_limit():
+    net = build()
+    routes = all_pairs_routes(net, clockwise_tables(net))
+    cdg = channel_dependency_graph(net, routes)
+    assert len(all_cycles(cdg)) >= 1
+    assert len(all_cycles(cdg, limit=1)) == 1
+
+
+def test_cycle_report_strings():
+    net = build()
+    cyclic = channel_dependency_graph(net, all_pairs_routes(net, clockwise_tables(net)))
+    assert "CYCLIC" in cycle_report(cyclic)
+    acyclic = channel_dependency_graph(
+        net, all_pairs_routes(net, dimension_order_tables(net))
+    )
+    assert "deadlock-free" in cycle_report(acyclic)
+
+
+def test_fracta_cdgs_acyclic(fracta64, fracta64_routes, thin64, thin64_routes):
+    assert is_deadlock_free(channel_dependency_graph(fracta64, fracta64_routes))
+    assert is_deadlock_free(channel_dependency_graph(thin64, thin64_routes))
+
+
+def test_fattree_cdg_acyclic(fattree64, fattree64_routes):
+    assert is_deadlock_free(channel_dependency_graph(fattree64, fattree64_routes))

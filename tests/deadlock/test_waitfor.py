@@ -1,0 +1,40 @@
+"""Unit tests for the runtime wait-for graph."""
+
+from repro.deadlock.waitfor import WaitForGraph
+
+
+def test_no_cycle_initially():
+    wfg = WaitForGraph()
+    assert wfg.find_deadlock() is None
+    assert wfg.num_waits == 0
+
+
+def test_chain_is_not_deadlock():
+    wfg = WaitForGraph()
+    wfg.add_wait("a", "b")
+    wfg.add_wait("b", "c")
+    assert wfg.find_deadlock() is None
+
+
+def test_cycle_detected():
+    wfg = WaitForGraph()
+    wfg.add_wait("a", "b", packet=1)
+    wfg.add_wait("b", "c", packet=2)
+    wfg.add_wait("c", "a", packet=3)
+    cycle = wfg.find_deadlock()
+    assert cycle is not None
+    assert set(cycle) == {"a", "b", "c"}
+    assert sorted(wfg.blocked_packets(cycle)) == [1, 2, 3]
+
+
+def test_self_wait_is_deadlock():
+    wfg = WaitForGraph()
+    wfg.add_wait("a", "a")
+    assert wfg.find_deadlock() == ["a"]
+
+
+def test_clear():
+    wfg = WaitForGraph()
+    wfg.add_wait("a", "b")
+    wfg.clear()
+    assert wfg.num_waits == 0

@@ -1,0 +1,49 @@
+"""Tests for the one-shot reproduction record."""
+
+import json
+
+from repro.experiments.summary import (
+    HEADLINE_CHECKS,
+    reproduce,
+    transcript,
+    write_results,
+)
+
+
+def test_fast_subset_passes(tmp_path):
+    record = reproduce(experiments=["fig1", "fig3", "sec32"])
+    assert record["all_passed"]
+    assert set(record["experiments"]) == {"fig1", "fig3", "sec32"}
+    for entry in record["experiments"].values():
+        assert entry["checks"]
+
+    path = tmp_path / "results.json"
+    write_results(path, record)
+    loaded = json.loads(path.read_text())
+    assert loaded["all_passed"] is True
+
+    text = transcript(record)
+    assert "ALL HEADLINE CHECKS PASSED" in text
+    assert "[PASS] fig3" in text
+
+
+def test_every_registered_experiment_has_checks_or_is_exempt():
+    from repro.experiments import ALL_EXPERIMENTS
+
+    # the two open-ended simulation studies have no single paper number
+    exempt = {"futurework", "ablations"}
+    assert set(ALL_EXPERIMENTS) - exempt == set(HEADLINE_CHECKS)
+
+
+def test_failed_check_reported():
+    record = {
+        "paper": "p",
+        "library_version": "v",
+        "python": "3",
+        "experiments": {
+            "x": {"passed": False, "checks": [{"check": "c", "passed": False}]}
+        },
+        "all_passed": False,
+    }
+    text = transcript(record)
+    assert "[FAIL] x" in text and "SOME CHECKS FAILED" in text

@@ -1,0 +1,122 @@
+"""Unit tests for bisection, hop statistics, utilization and cost."""
+
+import pytest
+
+from repro.metrics.bisection import (
+    bisection_of_partition,
+    global_min_cut,
+    min_cut_isolating,
+    routing_effective_bisection,
+)
+from repro.metrics.cost import cost_summary
+from repro.metrics.hops import hop_stats, hop_stats_sampled
+from repro.metrics.report import format_table
+from repro.metrics.utilization import channel_loads, utilization_stats
+from repro.routing.base import RouteSet
+from repro.topology.ring import ring
+
+
+class TestBisection:
+    def test_ring_bisection_is_two(self):
+        net = ring(6, nodes_per_router=1)
+        left = [f"n{i}" for i in range(3)]
+        assert bisection_of_partition(net, left) == 2
+
+    def test_fattree_bisection(self, fattree64):
+        left = [f"n{i}" for i in range(32)]
+        assert bisection_of_partition(fattree64, left) == 8
+
+    def test_fracta_bisection(self, fracta64):
+        """Fat fractahedron, N=2 without fan-out: 4 layers x 4 links."""
+        left = [f"n{i}" for i in range(32)]
+        assert bisection_of_partition(fracta64, left) == 16
+
+    def test_thin_bisection_fixed_at_four(self, thin64):
+        """§2.2: 'all thin fractahedrons have a bisection bandwidth fixed
+        at four links'."""
+        left = [f"n{i}" for i in range(32)]
+        assert bisection_of_partition(thin64, left) == 4
+
+    def test_isolating_one_tetra(self, fracta64):
+        """Isolating one tetra costs its four up links."""
+        assert min_cut_isolating(fracta64, [f"n{i}" for i in range(8)]) == 4
+
+    def test_global_min_cut_lower_bounds(self, fracta64):
+        left = [f"n{i}" for i in range(32)]
+        assert global_min_cut(fracta64) <= bisection_of_partition(fracta64, left)
+
+    def test_routing_effective_bisection(self, fattree64, fattree64_routes):
+        left_nodes = [f"n{i}" for i in range(32)]
+        left_routers = [
+            r.node_id
+            for r in fattree64.routers()
+            if tuple(r.attrs["path"])[:1] in ((0,), (1,))
+        ]
+        used = routing_effective_bisection(
+            fattree64, fattree64_routes, left_nodes, left_routers
+        )
+        assert 0 < used <= bisection_of_partition(fattree64, left_nodes)
+
+
+class TestHops:
+    def test_table2_averages(self, fattree64_routes, fracta64_routes):
+        assert abs(hop_stats(fattree64_routes).mean - 4.43) < 0.01
+        assert abs(hop_stats(fracta64_routes).mean - 4.30) < 0.01
+
+    def test_histogram_sums(self, fracta64_routes):
+        stats = hop_stats(fracta64_routes)
+        assert sum(n for _h, n in stats.histogram) == stats.count == 64 * 63
+
+    def test_empty_route_set(self):
+        with pytest.raises(ValueError):
+            hop_stats(RouteSet())
+
+    def test_sampled_matches_exact_on_small_nets(self, fracta64, fracta64_tables):
+        from repro.routing.base import all_pairs_routes
+
+        exact = hop_stats(all_pairs_routes(fracta64, fracta64_tables))
+        sampled = hop_stats_sampled(fracta64, fracta64_tables, max_pairs=10**6)
+        assert sampled.mean == pytest.approx(exact.mean)
+        assert sampled.maximum == exact.maximum
+
+    def test_sampled_is_deterministic(self, fracta64, fracta64_tables):
+        a = hop_stats_sampled(fracta64, fracta64_tables, max_pairs=500, seed=9)
+        b = hop_stats_sampled(fracta64, fracta64_tables, max_pairs=500, seed=9)
+        assert a == b
+
+
+class TestUtilization:
+    def test_loads_cover_all_router_links(self, fracta64, fracta64_routes):
+        loads = channel_loads(fracta64, fracta64_routes)
+        assert len(loads) == len(fracta64.router_links())
+
+    def test_stats_consistency(self, fracta64, fracta64_routes):
+        stats = utilization_stats(fracta64, fracta64_routes)
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.imbalance >= 1.0
+        assert stats.coefficient_of_variation >= 0.0
+
+
+class TestCost:
+    def test_table2_router_counts(self, fattree64, fracta64):
+        assert cost_summary(fattree64).routers == 28
+        assert cost_summary(fracta64).routers == 48
+
+    def test_cables_are_links_over_two(self, fracta64):
+        cost = cost_summary(fracta64)
+        assert cost.cables == fracta64.num_links // 2
+        assert cost.router_cables < cost.cables
+
+    def test_ratios(self, fracta64):
+        cost = cost_summary(fracta64)
+        assert cost.routers_per_node == 48 / 64
+        assert 0 < cost.port_utilization <= 1.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in text  # floats formatted to 2 places

@@ -1,0 +1,80 @@
+"""Unit tests for the contention metric -- including every contention
+number the paper states."""
+
+from repro.metrics.contention import (
+    link_contention,
+    pattern_contention,
+    worst_case_contention,
+)
+from repro.workloads.adversarial import (
+    fracta_diagonal_4_to_1,
+    fracta_downlink_worst,
+    mesh_corner_turn,
+    worst_link_pattern,
+)
+
+
+class TestPaperNumbers:
+    def test_mesh_10_to_1(self, mesh66, mesh66_routes):
+        """§3.1: dimension-order 6x6 mesh worst case is 10:1."""
+        assert worst_case_contention(mesh66, mesh66_routes).contention == 10
+
+    def test_mesh_corner_pattern_realizes_it(self, mesh66, mesh66_routes):
+        pattern = mesh_corner_turn(mesh66)
+        assert len(pattern) == 10
+        count, _link = pattern_contention(mesh66_routes, pattern)
+        assert count == 10
+
+    def test_fattree_12_to_1(self, fattree64, fattree64_routes):
+        """§3.3: the best static fat-tree partitioning still admits 12:1."""
+        assert worst_case_contention(fattree64, fattree64_routes).contention == 12
+        pattern = worst_link_pattern(fattree64, fattree64_routes)
+        assert len(pattern) == 12
+        count, _ = pattern_contention(fattree64_routes, pattern)
+        assert count == 12
+
+    def test_fracta_diagonal_4_to_1(self, fracta64, fracta64_routes):
+        """§3.4: nodes 6,7,14,15 -> 54,55,62,63 load one diagonal to 4."""
+        count, link = pattern_contention(
+            fracta64_routes, fracta_diagonal_4_to_1(fracta64)
+        )
+        assert count == 4
+        assert fracta64.link(link).attrs.get("kind") == "intra"
+
+    def test_fracta_exhaustive_worst_is_8(self, fracta64, fracta64_routes):
+        """Beyond the paper: the inter-level down links reach 8:1 -- still
+        well below the fat tree's 12:1 (see EXPERIMENTS.md)."""
+        worst = worst_case_contention(fracta64, fracta64_routes)
+        assert worst.contention == 8
+        count, _ = pattern_contention(
+            fracta64_routes, fracta_downlink_worst(fracta64)
+        )
+        assert count == 8
+
+
+class TestMechanics:
+    def test_link_contention_min_of_sources_dests(self, fracta64, fracta64_routes):
+        results = link_contention(fracta64, fracta64_routes)
+        for r in results.values():
+            assert r.contention == min(r.num_sources, r.num_destinations)
+            assert r.ratio.endswith(":1")
+
+    def test_pattern_contention_empty(self, fracta64_routes):
+        count, link = pattern_contention(fracta64_routes, [])
+        assert count == 0 and link == ""
+
+    def test_worst_pattern_routes_share_link(self, fattree64, fattree64_routes):
+        pattern = worst_link_pattern(fattree64, fattree64_routes)
+        shared = None
+        route_links = [
+            set(fattree64_routes.get(s, d).router_links) for s, d in pattern
+        ]
+        shared = set.intersection(*route_links)
+        assert shared
+
+    def test_distinct_sources_and_dests(self, fattree64, fattree64_routes):
+        pattern = worst_link_pattern(fattree64, fattree64_routes)
+        srcs = [s for s, _ in pattern]
+        dsts = [d for _, d in pattern]
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)

@@ -1,0 +1,64 @@
+"""Unit tests for NetworkBuilder."""
+
+import pytest
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import PortBudgetError
+
+
+def test_router_uses_default_radix():
+    b = NetworkBuilder("x", router_radix=6)
+    b.router("R0")
+    assert b.net.node("R0").num_ports == 6
+    assert b.net.attrs["router_radix"] == 6
+
+
+def test_router_radix_override():
+    b = NetworkBuilder("x")
+    b.router("big", num_ports=12)
+    assert b.net.node("big").num_ports == 12
+
+
+def test_cable_uses_lowest_free_ports():
+    b = NetworkBuilder("x")
+    b.router("A")
+    b.router("B")
+    fwd, rev = b.cable("A", "B")
+    assert fwd.src_port == 0 and fwd.dst_port == 0
+    fwd2, _ = b.cable("A", "B")
+    assert fwd2.src_port == 1
+
+
+def test_attach_end_nodes_names_globally_unique():
+    b = NetworkBuilder("x")
+    b.router("A")
+    b.router("B")
+    first = b.attach_end_nodes("A", 2)
+    second = b.attach_end_nodes("B", 2)
+    assert first == ["n0", "n1"]
+    assert second == ["n2", "n3"]
+    assert b.net.attached_router("n3") == "B"
+
+
+def test_fully_connect_is_complete_graph():
+    b = NetworkBuilder("x")
+    ids = [b.router(f"R{i}") for i in range(4)]
+    b.fully_connect(ids)
+    for i, a in enumerate(ids):
+        for c in ids[i + 1 :]:
+            assert b.net.links_between(a, c)
+    # each router spent 3 ports
+    assert all(b.net.used_ports(r) == 3 for r in ids)
+
+
+def test_fully_connect_respects_budget():
+    b = NetworkBuilder("x", router_radix=2)
+    ids = [b.router(f"R{i}") for i in range(4)]
+    with pytest.raises(PortBudgetError):
+        b.fully_connect(ids)
+
+
+def test_build_returns_network():
+    b = NetworkBuilder("name")
+    assert b.build() is b.net
+    assert b.net.name == "name"

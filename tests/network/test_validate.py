@@ -1,0 +1,87 @@
+"""Unit tests for structural network validation."""
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+from repro.network.validate import validate_network
+
+
+def _codes(issues):
+    return {i.code for i in issues}
+
+
+def test_clean_network_validates():
+    b = NetworkBuilder("ok")
+    b.router("A")
+    b.router("B")
+    b.cable("A", "B")
+    b.attach_end_nodes("A", 1)
+    assert validate_network(b.net) == []
+
+
+def test_disconnected_flagged():
+    net = Network()
+    net.add_router("A", 6)
+    net.add_router("B", 6)
+    net.add_router("C", 6)
+    net.add_router("D", 6)
+    net.connect("A", 0, "B", 0)
+    net.connect("C", 0, "D", 0)
+    issues = validate_network(net)
+    assert "disconnected" in _codes(issues)
+
+
+def test_disconnected_allowed_when_not_required():
+    net = Network()
+    net.add_router("A", 6)
+    net.add_router("B", 6)
+    issues = validate_network(net, require_connected=False)
+    assert "disconnected" not in _codes(issues)
+
+
+def test_isolated_router_warns():
+    net = Network()
+    net.add_router("A", 6)
+    issues = validate_network(net, require_connected=False)
+    assert any(i.code == "isolated-router" and i.severity == "warning" for i in issues)
+
+
+def test_end_node_multiple_routers_flagged():
+    net = Network()
+    net.add_router("A", 6)
+    net.add_router("B", 6)
+    net.connect("A", 0, "B", 0)
+    end = net.add_end_node("n0", 2)
+    net.connect("n0", 0, "A", 1)
+    net.connect("n0", 1, "B", 1)
+    issues = validate_network(net)
+    assert "end-node-attachment" in _codes(issues)
+
+
+def test_end_node_to_end_node_flagged():
+    net = Network()
+    net.add_end_node("n0")
+    net.add_end_node("n1")
+    net.connect("n0", 0, "n1", 0)
+    issues = validate_network(net)
+    assert "end-node-attachment" in _codes(issues)
+
+
+def test_require_end_nodes():
+    net = Network()
+    net.add_router("A", 6)
+    net.add_router("B", 6)
+    net.connect("A", 0, "B", 0)
+    issues = validate_network(net, require_end_nodes=True)
+    assert "no-end-nodes" in _codes(issues)
+
+
+def test_issue_str_format():
+    net = Network()
+    net.add_router("A", 6)
+    issue = validate_network(net, require_connected=False)[0]
+    assert "isolated-router" in str(issue)
+
+
+def test_paper_networks_validate(mesh66, fattree64, fracta64, thin64):
+    for net in (mesh66, fattree64, fracta64, thin64):
+        assert validate_network(net, require_end_nodes=True) == [], net.name

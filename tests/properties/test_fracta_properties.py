@@ -1,0 +1,84 @@
+"""Property-based tests: fractahedron structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import (
+    CHILDREN_PER_GROUP,
+    FractaAddress,
+    decode_address,
+    encode_address,
+)
+from repro.core.analysis import max_nodes, router_count
+from repro.core.fractahedron import FractaParams, fractahedron
+from repro.network.validate import validate_network
+
+
+@given(
+    st.integers(1, 3),
+    st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    st.integers(0, 3),
+    st.integers(0, 1),
+    st.sampled_from([None, 2, 4]),
+)
+@settings(max_examples=200, deadline=None)
+def test_address_round_trip(levels, path, corner, port, fanout):
+    child_path = path[: levels - 1]
+    fanout_index = 0 if fanout else None
+    addr = FractaAddress(
+        levels=levels,
+        child_path=child_path,
+        corner=corner,
+        port=port,
+        fanout_index=fanout_index,
+        fanout_width=fanout or 2,
+    )
+    value = encode_address(addr)
+    back = decode_address(value, levels, fanout)
+    assert back.child_path == child_path
+    assert back.corner == corner
+    assert back.port == port
+    assert back.fanout_index == fanout_index
+
+
+@given(st.integers(1, 3), st.booleans(), st.sampled_from([None, 2]))
+@settings(max_examples=12, deadline=None)
+def test_built_network_matches_formulas(levels, fat, fanout):
+    params = FractaParams(levels, fat=fat, fanout_width=fanout)
+    net = fractahedron(params)
+    assert net.num_end_nodes == max_nodes(levels, fanout)
+    assert net.num_routers == router_count(levels, fat, fanout)
+    issues = [i for i in validate_network(net, require_end_nodes=True)
+              if i.severity == "error"]
+    assert issues == []
+
+
+@given(st.integers(1, 3), st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_port_budgets_respected_everywhere(levels, fat):
+    net = fractahedron(FractaParams(levels, fat=fat))
+    for router in net.routers():
+        assert net.used_ports(router.node_id) <= router.num_ports
+        if not fat and router.attrs.get("corner", 0) != 0:
+            # thin: non-zero corners never use their up port
+            assert net.free_ports(router.node_id) >= (
+                1 if router.attrs["level"] < levels else 1
+            )
+
+
+@given(st.integers(2, 3))
+@settings(max_examples=4, deadline=None)
+def test_every_group_has_eight_children(levels):
+    net = fractahedron(FractaParams(levels, fat=True))
+    # count inter-level cables from each level-k group (k >= 2) down
+    for level in range(2, levels + 1):
+        downs: dict[int, set[int]] = {}
+        for link in net.router_links():
+            src = net.node(link.src).attrs
+            dst = net.node(link.dst).attrs
+            if src.get("level") == level and dst.get("level") == level - 1:
+                downs.setdefault(src["group"], set()).add(dst["group"])
+        for group, children in downs.items():
+            assert children == set(
+                range(group * CHILDREN_PER_GROUP, (group + 1) * CHILDREN_PER_GROUP)
+            )

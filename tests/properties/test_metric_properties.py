@@ -1,0 +1,109 @@
+"""Property-based tests: metric invariants across randomized networks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.bisection import bisection_of_partition, global_min_cut
+from repro.metrics.contention import (
+    link_contention,
+    pattern_contention,
+    worst_case_contention,
+)
+from repro.metrics.cost import cost_summary
+from repro.metrics.hops import hop_stats
+from repro.metrics.latency_model import zero_load_latency_cycles
+from repro.metrics.utilization import channel_loads
+from repro.routing.base import all_pairs_routes
+from repro.routing.dimension_order import dimension_order_tables
+from repro.routing.shortest_path import shortest_path_tables
+from repro.topology.mesh import mesh
+from repro.topology.ring import ring
+from repro.workloads.adversarial import worst_link_pattern
+
+
+@st.composite
+def routed_network(draw):
+    kind = draw(st.sampled_from(["mesh", "ring"]))
+    if kind == "mesh":
+        shape = (draw(st.integers(2, 4)), draw(st.integers(2, 4)))
+        net = mesh(shape, nodes_per_router=draw(st.integers(1, 2)))
+        tables = dimension_order_tables(net)
+    else:
+        net = ring(draw(st.integers(3, 7)), nodes_per_router=draw(st.integers(1, 2)))
+        tables = shortest_path_tables(net)
+    return net, tables
+
+
+@given(routed_network())
+@settings(max_examples=25, deadline=None)
+def test_worst_pattern_realizes_worst_contention(case):
+    """The derived worst transfer set must load some link to exactly the
+    exhaustive worst-case contention."""
+    net, tables = case
+    routes = all_pairs_routes(net, tables)
+    worst = worst_case_contention(net, routes)
+    pattern = worst_link_pattern(net, routes)
+    count, _link = pattern_contention(routes, pattern)
+    assert count == worst.contention
+    assert len(pattern) == worst.contention
+
+
+@given(routed_network())
+@settings(max_examples=25, deadline=None)
+def test_contention_bounded_by_population(case):
+    net, tables = case
+    routes = all_pairs_routes(net, tables)
+    n = net.num_end_nodes
+    for result in link_contention(net, routes).values():
+        assert 0 <= result.contention <= n - 1
+        assert result.num_sources <= n
+        assert result.num_destinations <= n
+
+
+@given(routed_network())
+@settings(max_examples=25, deadline=None)
+def test_channel_load_conservation(case):
+    """Total channel load equals the total router-link crossings of all
+    routes (each route counted once per fabric link it uses)."""
+    net, tables = case
+    routes = all_pairs_routes(net, tables)
+    loads = channel_loads(net, routes)
+    assert sum(loads.values()) == sum(len(r.router_links) for r in routes)
+
+
+@given(routed_network())
+@settings(max_examples=25, deadline=None)
+def test_hop_stats_vs_latency_model(case):
+    """Zero-load latency of a 1-flit packet is the route's link count - 1,
+    i.e. router hops."""
+    net, tables = case
+    routes = all_pairs_routes(net, tables)
+    stats = hop_stats(routes)
+    # zero-load(1 flit) = links - 1 = router hops
+    models = [zero_load_latency_cycles(r, 1) for r in routes]
+    assert max(models) == stats.maximum
+    assert min(models) == stats.minimum
+
+
+@given(routed_network())
+@settings(max_examples=20, deadline=None)
+def test_half_partition_cut_at_least_router_min_cut(case):
+    """A half/half partition cut (which may only cross fabric cables once
+    injection links are pinned) is never below the router-graph min cut
+    for our one-router-per-end-node-cluster builds."""
+    net, _tables = case
+    ends = net.end_node_ids()
+    left = ends[: max(1, len(ends) // 2)]
+    cut = bisection_of_partition(net, left)
+    assert cut >= 1
+    assert global_min_cut(net) >= 1
+
+
+@given(routed_network())
+@settings(max_examples=25, deadline=None)
+def test_cost_identities(case):
+    net, _tables = case
+    cost = cost_summary(net)
+    assert cost.cables * 2 == net.num_links
+    assert cost.ports_used <= cost.ports_total
+    assert cost.routers == net.num_routers

@@ -1,0 +1,41 @@
+"""Property-based tests: fabric persistence round trips exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fractahedron import FractaParams, fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.network.serialize import network_from_dict, network_to_dict
+from repro.routing.base import compute_route
+from repro.routing.dimension_order import dimension_order_tables
+from repro.topology.mesh import mesh
+
+
+@given(st.integers(2, 4), st.integers(2, 4), st.integers(1, 2), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_mesh_round_trip(cols, rows, nodes, wrap):
+    net = mesh((cols, rows), nodes_per_router=nodes, wrap=(0,) if wrap else ())
+    back = network_from_dict(network_to_dict(net))
+    assert back.node_ids() == net.node_ids()
+    assert sorted(back.link_ids()) == sorted(net.link_ids())
+    assert back.attrs == net.attrs
+    for node in net.nodes():
+        other = back.node(node.node_id)
+        assert other.attrs == node.attrs
+        assert other.num_ports == node.num_ports
+
+
+@given(st.integers(1, 2), st.booleans(), st.sampled_from([None, 2]), st.data())
+@settings(max_examples=15, deadline=None)
+def test_fracta_round_trip_routes_identically(levels, fat, fanout, data):
+    net = fractahedron(FractaParams(levels, fat=fat, fanout_width=fanout))
+    tables = fractahedral_tables(net)
+    back = network_from_dict(network_to_dict(net))
+    back_tables = fractahedral_tables(back)
+    ends = net.end_node_ids()
+    src = data.draw(st.sampled_from(ends))
+    dst = data.draw(st.sampled_from([e for e in ends if e != src]))
+    assert (
+        compute_route(net, tables, src, dst).links
+        == compute_route(back, back_tables, src, dst).links
+    )

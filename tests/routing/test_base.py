@@ -1,0 +1,135 @@
+"""Unit tests for routes, tables and route sets."""
+
+import pytest
+
+from repro.network.builder import NetworkBuilder
+from repro.routing.base import (
+    Route,
+    RouteSet,
+    RoutingError,
+    RoutingTable,
+    all_pairs_routes,
+    compute_route,
+    routes_for_pairs,
+)
+
+
+@pytest.fixture
+def line_net():
+    """n0 - A - B - n1."""
+    b = NetworkBuilder("line")
+    b.router("A")
+    b.router("B")
+    b.cable("A", "B")
+    b.end_node("n0")
+    b.cable("n0", "A")
+    b.end_node("n1")
+    b.cable("n1", "B")
+    return b.net
+
+
+@pytest.fixture
+def line_tables(line_net):
+    t = RoutingTable()
+    t.set("A", "n1", line_net.links_between("A", "B")[0].src_port)
+    t.set("B", "n1", line_net.links_between("B", "n1")[0].src_port)
+    t.set("B", "n0", line_net.links_between("B", "A")[0].src_port)
+    t.set("A", "n0", line_net.links_between("A", "n0")[0].src_port)
+    return t
+
+
+class TestRoutingTable:
+    def test_set_lookup(self):
+        t = RoutingTable()
+        t.set("R", "d", 3)
+        assert t.lookup("R", "d") == 3
+        assert t.has_entry("R", "d")
+        assert not t.has_entry("R", "other")
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(RoutingError, match="no entry"):
+            RoutingTable().lookup("R", "d")
+
+    def test_entries_copy_is_isolated(self):
+        t = RoutingTable()
+        t.set("R", "d", 1)
+        entries = t.entries("R")
+        entries["d"] = 9
+        assert t.lookup("R", "d") == 1
+
+    def test_num_entries_and_items(self):
+        t = RoutingTable({"R": {"a": 0, "b": 1}})
+        assert t.num_entries() == 2
+        assert set(t.items()) == {("R", "a", 0), ("R", "b", 1)}
+
+    def test_used_output_ports(self):
+        t = RoutingTable({"R": {"a": 0, "b": 1, "c": 1}})
+        assert t.used_output_ports("R") == {0, 1}
+
+    def test_copy_independent(self):
+        t = RoutingTable({"R": {"a": 0}})
+        c = t.copy()
+        c.set("R", "a", 5)
+        assert t.lookup("R", "a") == 0
+
+
+class TestComputeRoute:
+    def test_basic_walk(self, line_net, line_tables):
+        route = compute_route(line_net, line_tables, "n0", "n1")
+        assert route.nodes == ("n0", "A", "B", "n1")
+        assert route.router_hops == 2
+        assert len(route.links) == 3
+        assert len(route.router_links) == 1
+
+    def test_same_node_rejected(self, line_net, line_tables):
+        with pytest.raises(RoutingError, match="identical"):
+            compute_route(line_net, line_tables, "n0", "n0")
+
+    def test_router_source_rejected(self, line_net, line_tables):
+        with pytest.raises(RoutingError, match="not an end node"):
+            compute_route(line_net, line_tables, "A", "n1")
+
+    def test_loop_detected(self, line_net):
+        looping = RoutingTable()
+        # A and B bounce the packet forever
+        looping.set("A", "n1", line_net.links_between("A", "B")[0].src_port)
+        looping.set("B", "n1", line_net.links_between("B", "A")[0].src_port)
+        with pytest.raises(RoutingError, match="loop"):
+            compute_route(line_net, looping, "n0", "n1")
+
+    def test_wrong_terminal_detected(self, line_net):
+        bad = RoutingTable()
+        # route to n1 ejects back at n0 instead: a non-router, non-dest node
+        bad.set("A", "n1", line_net.links_between("A", "n0")[0].src_port)
+        with pytest.raises(RoutingError, match="non-router"):
+            compute_route(line_net, bad, "n0", "n1")
+
+
+class TestRouteSet:
+    def test_all_pairs(self, line_net, line_tables):
+        rs = all_pairs_routes(line_net, line_tables)
+        assert len(rs) == 2
+        assert rs.has("n0", "n1") and rs.has("n1", "n0")
+
+    def test_get_missing(self):
+        with pytest.raises(RoutingError):
+            RouteSet().get("a", "b")
+
+    def test_link_usage(self, line_net, line_tables):
+        rs = all_pairs_routes(line_net, line_tables)
+        usage = rs.link_usage()
+        ab = line_net.links_between("A", "B")[0].link_id
+        assert len(usage[ab]) == 1
+
+    def test_router_link_usage_covers_unused(self, line_net, line_tables):
+        rs = routes_for_pairs(line_net, line_tables, [("n0", "n1")])
+        usage = rs.router_link_usage(line_net)
+        assert len(usage) == 2  # both directions listed
+        counts = sorted(len(v) for v in usage.values())
+        assert counts == [0, 1]
+
+    def test_route_properties(self):
+        r = Route("s", "d", ("l1", "l2", "l3"), ("s", "R1", "R2", "d"))
+        assert r.router_hops == 2
+        assert r.router_links == ("l2",)
+        assert len(r) == 3

@@ -1,0 +1,124 @@
+"""Unit tests for turn-level path disables."""
+
+import networkx as nx
+import pytest
+
+from repro.routing.base import RoutingError, all_pairs_routes, compute_route
+from repro.routing.turns import (
+    TurnSet,
+    allowed_turn_graph,
+    break_cycles_with_turns,
+    turn_restricted_tables,
+)
+from repro.routing.validate import validate_routing
+from repro.topology.hypercube import hypercube
+from repro.topology.mesh import mesh
+from repro.topology.ring import ring
+
+
+class TestTurnSet:
+    def test_prohibit_and_query(self):
+        ts = TurnSet()
+        ts.prohibit("a", "b")
+        assert ts.is_prohibited("a", "b")
+        assert not ts.is_prohibited("b", "a")
+        assert ("a", "b") in ts
+        assert len(ts) == 1
+
+    def test_bidirectional(self):
+        net = ring(4, nodes_per_router=1)
+        a = net.links_between("R0", "R1")[0]
+        b = net.links_between("R1", "R2")[0]
+        ts = TurnSet()
+        ts.prohibit_bidirectional(net, a.link_id, b.link_id)
+        assert len(ts) == 2
+        # the reverse turn: R2->R1 then R1->R0
+        rev_in = net.links_between("R2", "R1")[0].link_id
+        rev_out = net.links_between("R1", "R0")[0].link_id
+        assert ts.is_prohibited(rev_in, rev_out)
+
+    def test_prohibit_through_router(self):
+        net = ring(4, nodes_per_router=1)
+        ts = TurnSet()
+        ts.prohibit_through_router(net, "R1")
+        # both through turns at R1 (one per direction of travel)
+        assert len(ts) == 2
+
+
+class TestTurnRestrictedTables:
+    def test_no_restrictions_equals_shortest(self):
+        net = mesh((3, 3), nodes_per_router=1)
+        tables = turn_restricted_tables(net, TurnSet())
+        assert validate_routing(net, tables).ok
+
+    def test_restriction_forces_detour(self):
+        from repro.topology.tree import kary_tree
+
+        # a tree cannot route around a prohibition: blocking through turns
+        # at the root must make cross-subtree destinations unreachable
+        net = kary_tree(2, 2, nodes_per_leaf=1)
+        ts = TurnSet()
+        ts.prohibit_through_router(net, "T0.0")
+        with pytest.raises(RoutingError, match="unreachable"):
+            turn_restricted_tables(net, ts)
+
+    def test_tables_never_take_prohibited_turns(self):
+        net = hypercube(3, nodes_per_router=1)
+        ts = TurnSet()
+        ts.prohibit_through_router(net, "H111")
+        tables = turn_restricted_tables(net, ts)
+        routes = all_pairs_routes(net, tables)
+        for route in routes:
+            for a, b in zip(route.links, route.links[1:]):
+                assert not ts.is_prohibited(a, b), (route.src, route.dst)
+
+    def test_through_prohibited_router_still_sources_and_sinks(self):
+        net = hypercube(3, nodes_per_router=1)
+        ts = TurnSet()
+        ts.prohibit_through_router(net, "H111")
+        tables = turn_restricted_tables(net, ts)
+        top_node = net.attached_end_nodes("H111")[0]
+        assert compute_route(net, tables, "n0", top_node).nodes[-1] == top_node
+        assert compute_route(net, tables, top_node, "n0").nodes[-1] == "n0"
+
+
+class TestAllowedTurnGraph:
+    def test_unrestricted_cube_graph_is_cyclic(self):
+        net = hypercube(3, nodes_per_router=1)
+        g = allowed_turn_graph(net, TurnSet())
+        assert not nx.is_directed_acyclic_graph(g)
+
+    def test_u_turns_excluded(self):
+        net = ring(4, nodes_per_router=1)
+        g = allowed_turn_graph(net, TurnSet())
+        for a, b in g.edges:
+            assert net.link(a).reverse_id != b
+
+    def test_tree_graph_is_acyclic(self):
+        from repro.topology.tree import binary_tree
+
+        net = binary_tree(3)
+        g = allowed_turn_graph(net, TurnSet())
+        assert nx.is_directed_acyclic_graph(g)
+
+
+class TestSynthesis:
+    def test_cube_synthesis_hardware_acyclic(self):
+        net = hypercube(3, nodes_per_router=1)
+        turns, tables = break_cycles_with_turns(net)
+        assert nx.is_directed_acyclic_graph(allowed_turn_graph(net, turns))
+        assert validate_routing(net, tables).ok
+
+    def test_ring_synthesis(self):
+        net = ring(5, nodes_per_router=1)
+        turns, tables = break_cycles_with_turns(net)
+        assert nx.is_directed_acyclic_graph(allowed_turn_graph(net, turns))
+        assert validate_routing(net, tables).ok
+
+    def test_mesh_synthesis_cheap(self):
+        """An open mesh has no turn-graph cycles that survive... it does --
+        meshes allow turn cycles; the synthesis must fix them too."""
+        net = mesh((3, 3), nodes_per_router=1)
+        turns, tables = break_cycles_with_turns(net)
+        assert nx.is_directed_acyclic_graph(allowed_turn_graph(net, turns))
+        assert validate_routing(net, tables).ok

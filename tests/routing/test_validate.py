@@ -1,0 +1,64 @@
+"""Unit tests for routing validation."""
+
+from repro.network.builder import NetworkBuilder
+from repro.routing.base import RoutingTable
+from repro.routing.shortest_path import shortest_path_tables
+from repro.routing.validate import validate_routing
+from repro.topology.ring import ring
+
+
+def test_valid_routing_reports_ok():
+    net = ring(4, nodes_per_router=1)
+    report = validate_routing(net, shortest_path_tables(net))
+    assert report.ok
+    assert report.pairs_checked == 4 * 3
+    assert report.max_router_hops == 3  # opposite side of a 4-ring
+
+
+def test_missing_entries_reported():
+    net = ring(4, nodes_per_router=1)
+    report = validate_routing(net, RoutingTable())
+    assert not report.ok
+    assert len(report.failures) == 12
+
+
+def test_hop_bound_enforced():
+    net = ring(6, nodes_per_router=1)
+    report = validate_routing(net, shortest_path_tables(net), max_router_hops=2)
+    assert not report.ok
+    assert any("exceeds bound" in f for f in report.failures)
+
+
+def test_pairs_subset():
+    net = ring(4, nodes_per_router=1)
+    report = validate_routing(
+        net, shortest_path_tables(net), pairs=[("n0", "n2")]
+    )
+    assert report.pairs_checked == 1
+    assert report.ok
+
+
+def test_revisit_detected():
+    b = NetworkBuilder("diamond")
+    for r in ("A", "B", "C"):
+        b.router(r)
+    b.cable("A", "B")
+    b.cable("B", "C")
+    b.cable("A", "C")
+    b.end_node("n0")
+    b.cable("n0", "A")
+    b.end_node("n1")
+    b.cable("n1", "C")
+    net = b.net
+    t = RoutingTable()
+    # n0 -> n1 detours A -> B -> A?? cannot revisit via table (same entry)...
+    # instead: A -> B -> C with C fine, but B -> C goes through A first is
+    # impossible with dest-only tables; a genuine revisit needs a loop,
+    # which compute_route flags as a loop. So check the simple-path flag
+    # via a route that bounces: A->B, B->A would loop forever; ensure the
+    # validator reports it as a failure rather than hanging.
+    t.set("A", "n1", net.links_between("A", "B")[0].src_port)
+    t.set("B", "n1", net.links_between("B", "A")[0].src_port)
+    t.set("C", "n1", net.links_between("C", "n1")[0].src_port)
+    report = validate_routing(net, t, pairs=[("n0", "n1")])
+    assert not report.ok

@@ -1,0 +1,137 @@
+"""Unit tests for the ServerNet device models."""
+
+import pytest
+
+from repro.core.fractahedron import fat_fractahedron, router_id
+from repro.core.routing import fractahedral_tables
+from repro.routing.shortest_path import shortest_path_tables
+from repro.servernet.constants import (
+    LINK_BYTES_PER_SECOND,
+    ROUTER_PORTS,
+    cycles_to_microseconds,
+    link_cycles_for_bytes,
+)
+from repro.servernet.fabric import DualFabric
+from repro.servernet.router_asic import RouterAsic, TableCorruption
+from repro.topology.ring import ring
+
+
+class TestConstants:
+    def test_first_generation_values(self):
+        assert LINK_BYTES_PER_SECOND == 50_000_000
+        assert ROUTER_PORTS == 6
+
+    def test_link_cycles(self):
+        assert link_cycles_for_bytes(100) == 100
+        assert link_cycles_for_bytes(100, flit_bytes=8) == 13
+        with pytest.raises(ValueError):
+            link_cycles_for_bytes(-1)
+
+    def test_cycle_time_scale(self):
+        # 50 bytes at 50 MB/s = 1 microsecond
+        assert cycles_to_microseconds(50) == pytest.approx(1.0)
+
+
+class TestRouterAsic:
+    @pytest.fixture
+    def asic(self):
+        net = fat_fractahedron(2)
+        tables = fractahedral_tables(net)
+        return net, RouterAsic(net, router_id(1, 0, 0, 0), tables)
+
+    def test_forward_follows_table(self, asic):
+        net, router = asic
+        tables = fractahedral_tables(net)
+        assert router.forward(0, "n63") == tables.lookup(router.router_id, "n63")
+
+    def test_whole_output_disable(self, asic):
+        _net, router = asic
+        port = router.forward(0, "n63")
+        router.disable_output(port)
+        with pytest.raises(TableCorruption):
+            router.forward(0, "n63")
+
+    def test_per_input_disable(self, asic):
+        _net, router = asic
+        port = router.forward(0, "n63")
+        router.disable_path(1, port)
+        # other inputs still forward
+        assert router.forward(0, "n63") == port
+        with pytest.raises(TableCorruption):
+            router.forward(1, "n63")
+
+    def test_corrupt_entry(self, asic):
+        _net, router = asic
+        original = router.forward(0, "n63")
+        router.corrupt_entry("n63", (original + 1) % 6)
+        assert router.forward(0, "n63") != original
+
+    def test_port_range_checked(self, asic):
+        _net, router = asic
+        with pytest.raises(ValueError):
+            router.disable_output(6)
+        with pytest.raises(ValueError):
+            router.corrupt_entry("n63", 9)
+
+    def test_non_router_rejected(self):
+        net = fat_fractahedron(2)
+        tables = fractahedral_tables(net)
+        with pytest.raises(ValueError):
+            RouterAsic(net, "n0", tables)
+
+    def test_load_turn_disables(self):
+        from repro.routing.turns import TurnSet
+
+        net = fat_fractahedron(2)
+        tables = fractahedral_tables(net)
+        rid = router_id(1, 0, 0, 0)
+        asic = RouterAsic(net, rid, tables)
+        turns = TurnSet()
+        turns.prohibit_through_router(net, rid)
+        added = asic.load_turn_disables(turns)
+        assert added == asic.num_disables > 0
+
+
+class TestDualFabric:
+    @pytest.fixture
+    def fabric(self):
+        return DualFabric(
+            build=lambda: ring(4, nodes_per_router=1),
+            route=shortest_path_tables,
+        )
+
+    def test_prefers_x(self, fabric):
+        assert fabric.select_fabric("n0", "n2") == "X"
+
+    def test_failover_to_y(self, fabric):
+        _, route = fabric.route_transfer("n0", "n2")
+        fabric.fail_cable("X", route.router_links[0])
+        assert fabric.select_fabric("n0", "n2") == "Y"
+        fab, new_route = fabric.route_transfer("n0", "n2")
+        assert fab == "Y"
+        assert new_route.nodes[-1] == "n2"
+
+    def test_double_failure_unroutable(self, fabric):
+        # fail the route's first fabric cable on both fabrics
+        from repro.routing.base import compute_route
+
+        for f in ("X", "Y"):
+            net = fabric.x if f == "X" else fabric.y
+            tables = fabric.tables_x if f == "X" else fabric.tables_y
+            route = compute_route(net, tables, "n0", "n2")
+            fabric.fail_cable(f, route.router_links[0])
+        with pytest.raises(RuntimeError, match="no intact path"):
+            fabric.select_fabric("n0", "n2")
+
+    def test_router_failure(self, fabric):
+        fabric.fail_router("X", "R1")
+        # traffic through R1 moves to Y; other traffic stays on X
+        assert fabric.select_fabric("n0", "n1") == "Y"
+
+    def test_availability(self, fabric):
+        pairs = [(f"n{i}", f"n{j}") for i in range(4) for j in range(4) if i != j]
+        assert fabric.availability(pairs) == 1.0
+        fabric.fail_router("X", "R0")
+        fabric.fail_router("Y", "R2")
+        availability = fabric.availability(pairs)
+        assert 0.0 < availability < 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for ServerNet read/write transactions."""
+
+import pytest
+
+from repro.core.fractahedron import fat_fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.routing.dimension_order import dimension_order_tables
+from repro.servernet.transactions import ACK_FLITS, REQUEST_FLITS, TransactionEngine
+from repro.sim.engine import SimConfig
+from repro.topology.mesh import mesh
+
+
+@pytest.fixture
+def engine():
+    net = mesh((2, 2), nodes_per_router=1)
+    return TransactionEngine(net, dimension_order_tables(net))
+
+
+class TestBasics:
+    def test_read_completes(self, engine):
+        txn = engine.read("n0", "n3", data_flits=16)
+        engine.run(500)
+        assert engine.all_completed()
+        assert txn.round_trip is not None and txn.round_trip > 0
+
+    def test_write_completes(self, engine):
+        txn = engine.write("n0", "n3", data_flits=16)
+        engine.run(500)
+        assert txn.completed is not None
+
+    def test_read_response_carries_the_data(self, engine):
+        txn = engine.read("n0", "n3", data_flits=16)
+        engine.run(500)
+        request = engine.sim.packets[txn.request_packet]
+        response = engine.sim.packets[txn.response_packet]
+        assert request.size == REQUEST_FLITS
+        assert response.size == 16
+        assert response.src == "n3" and response.dst == "n0"
+
+    def test_write_ack_is_short(self, engine):
+        txn = engine.write("n0", "n3", data_flits=16)
+        engine.run(500)
+        assert engine.sim.packets[txn.request_packet].size == 16
+        assert engine.sim.packets[txn.response_packet].size == ACK_FLITS
+
+    def test_read_slower_than_write_for_same_data(self):
+        """A read's data crosses on the response leg; a write's on the
+        request leg -- round trips are nearly equal, but both exceed the
+        one-way zero-load latency."""
+        net = mesh((2, 2), nodes_per_router=1)
+        tables = dimension_order_tables(net)
+        e1 = TransactionEngine(net, tables)
+        read = e1.read("n0", "n3", data_flits=32)
+        e1.run(800)
+        e2 = TransactionEngine(net, tables)
+        write = e2.write("n0", "n3", data_flits=32)
+        e2.run(800)
+        assert abs(read.round_trip - write.round_trip) <= 2
+
+    def test_issue_after_run_rejected(self, engine):
+        engine.read("n0", "n3", data_flits=4)
+        engine.run(200)
+        with pytest.raises(RuntimeError):
+            engine.read("n0", "n3", data_flits=4)
+
+    def test_bad_size(self, engine):
+        with pytest.raises(ValueError):
+            engine.read("n0", "n3", data_flits=0)
+
+
+class TestConcurrent:
+    def test_many_transactions_on_fractahedron(self):
+        net = fat_fractahedron(2)
+        engine = TransactionEngine(net, fractahedral_tables(net))
+        expected = []
+        for i in range(0, 64, 3):
+            expected.append(engine.read(f"n{i}", f"n{63 - i}", data_flits=8, at_cycle=i))
+            expected.append(
+                engine.write(f"n{(i + 1) % 64}", f"n{(i * 7) % 64}", data_flits=4, at_cycle=i)
+            )
+        stats = engine.run(5000)
+        assert engine.all_completed()
+        assert not stats.deadlocked
+        assert len(engine.round_trips()) == len(expected)
+        # responses never reorder between a pair (ServerNet's guarantee)
+        assert engine.sim.finalize().in_order_violations == []
+
+    def test_round_trip_includes_both_legs(self, engine):
+        txn = engine.read("n0", "n3", data_flits=1)
+        engine.run(500)
+        # round trip must exceed twice the one-way router hops
+        from repro.routing.base import compute_route
+
+        route = compute_route(engine.net, engine.tables, "n0", "n3")
+        assert txn.round_trip >= 2 * len(route.links) - 2

@@ -1,0 +1,86 @@
+"""Unit tests for channel buffers and output-port arbitration."""
+
+import pytest
+
+from repro.sim.link import ChannelBuffer, channel_key
+from repro.sim.packet import Flit, FlitKind
+from repro.sim.router import OutputPort
+
+
+class TestChannelBuffer:
+    def test_capacity_enforced(self):
+        buf = ChannelBuffer("L", 0, capacity=2)
+        buf.push(Flit(0, FlitKind.HEAD, "d", 0))
+        buf.push(Flit(0, FlitKind.BODY, "d", 1))
+        assert not buf.has_space()
+        with pytest.raises(OverflowError):
+            buf.push(Flit(0, FlitKind.TAIL, "d", 2))
+
+    def test_fifo_order(self):
+        buf = ChannelBuffer("L", 0, capacity=4)
+        flits = [Flit(0, FlitKind.HEAD, "d", i) for i in range(3)]
+        for f in flits:
+            buf.push(f)
+        assert buf.front() is flits[0]
+        assert buf.pop() is flits[0]
+        assert buf.pop() is flits[1]
+        assert len(buf) == 1
+
+    def test_tail_pop_clears_worm_latch(self):
+        buf = ChannelBuffer("L", 0, capacity=4)
+        buf.push(Flit(0, FlitKind.HEAD, "d", 0))
+        buf.push(Flit(0, FlitKind.TAIL, "d", 1))
+        buf.current_out = ("out", 0)
+        buf.pop()  # head keeps the latch
+        assert buf.current_out == ("out", 0)
+        buf.pop()  # tail clears it
+        assert buf.current_out is None
+
+    def test_atom_pop_clears_latch(self):
+        buf = ChannelBuffer("L", 0, capacity=4)
+        buf.push(Flit(0, FlitKind.ATOM, "d", 0))
+        buf.current_out = ("out", 0)
+        buf.pop()
+        assert buf.current_out is None
+
+    def test_key(self):
+        assert ChannelBuffer("L", 2, 1).key == channel_key("L", 2) == ("L", 2)
+
+    def test_free_slots(self):
+        buf = ChannelBuffer("L", 0, capacity=3)
+        assert buf.free_slots() == 3
+        buf.push(Flit(0, FlitKind.ATOM, "d", 0))
+        assert buf.free_slots() == 2
+
+
+class TestOutputPort:
+    def test_arbitrate_acquires(self):
+        port = OutputPort(("L", 0))
+        winner = port.arbitrate([("a", 0), ("b", 0)])
+        assert winner == ("a", 0)
+        assert port.holder == ("a", 0)
+
+    def test_round_robin_rotates(self):
+        port = OutputPort(("L", 0))
+        winners = []
+        for _ in range(4):
+            winners.append(port.arbitrate([("a", 0), ("b", 0)]))
+            port.release()
+        assert winners == [("a", 0), ("b", 0), ("a", 0), ("b", 0)]
+
+    def test_empty_requests(self):
+        port = OutputPort(("L", 0))
+        assert port.arbitrate([]) is None
+        assert port.holder is None
+
+    def test_double_acquire_rejected(self):
+        port = OutputPort(("L", 0))
+        port.arbitrate([("a", 0)])
+        with pytest.raises(RuntimeError):
+            port.arbitrate([("b", 0)])
+
+    def test_release(self):
+        port = OutputPort(("L", 0))
+        port.arbitrate([("a", 0)])
+        port.release()
+        assert port.holder is None

@@ -1,0 +1,45 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.sim.packet import Flit, FlitKind, Packet
+
+
+def test_single_flit_packet_is_atom():
+    p = Packet(1, "a", "b", size=1, created=0)
+    flits = p.flits()
+    assert len(flits) == 1
+    assert flits[0].kind is FlitKind.ATOM
+    assert flits[0].is_head and flits[0].is_tail
+
+
+def test_multi_flit_train():
+    p = Packet(2, "a", "b", size=4, created=0)
+    flits = p.flits()
+    assert [f.kind for f in flits] == [
+        FlitKind.HEAD,
+        FlitKind.BODY,
+        FlitKind.BODY,
+        FlitKind.TAIL,
+    ]
+    assert [f.index for f in flits] == [0, 1, 2, 3]
+    assert all(f.dest == "b" and f.packet_id == 2 for f in flits)
+
+
+def test_head_tail_predicates():
+    assert Flit(0, FlitKind.HEAD, "d", 0).is_head
+    assert not Flit(0, FlitKind.HEAD, "d", 0).is_tail
+    assert Flit(0, FlitKind.TAIL, "d", 3).is_tail
+    assert not Flit(0, FlitKind.BODY, "d", 1).is_head
+
+
+def test_zero_size_rejected():
+    with pytest.raises(ValueError):
+        Packet(0, "a", "b", size=0, created=0).flits()
+
+
+def test_latency():
+    p = Packet(0, "a", "b", size=2, created=10)
+    assert p.latency is None
+    p.delivered = 25
+    assert p.latency == 15

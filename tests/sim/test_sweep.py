@@ -1,0 +1,64 @@
+"""Tests for load sweeps and saturation search."""
+
+import pytest
+
+from repro.routing.dimension_order import dimension_order_tables
+from repro.sim.sweep import find_saturation, latency_curve
+from repro.topology.mesh import mesh
+
+
+@pytest.fixture(scope="module")
+def small():
+    net = mesh((3, 3), nodes_per_router=1)
+    return net, dimension_order_tables(net)
+
+
+def test_latency_curve_monotone_in_the_large(small):
+    net, tables = small
+    points = latency_curve(net, tables, rates=(0.01, 0.3), cycles=1200)
+    assert points[0].avg_latency < points[1].avg_latency
+    assert not points[0].saturated
+    assert points[0].accepted_flits_per_node_cycle <= (
+        points[1].accepted_flits_per_node_cycle + 1e-9
+    )
+
+
+def test_find_saturation_brackets(small):
+    net, tables = small
+    sat = find_saturation(net, tables, cycles=1200, resolution=0.01)
+    assert 0.0 < sat < 0.5
+    # below the returned rate the network is unsaturated
+    (point,) = latency_curve(net, tables, rates=(max(sat - 0.01, 0.001),), cycles=1200)
+    assert not point.saturated
+
+
+def test_find_saturation_deterministic(small):
+    net, tables = small
+    a = find_saturation(net, tables, cycles=600, resolution=0.02)
+    b = find_saturation(net, tables, cycles=600, resolution=0.02)
+    assert a == b
+
+
+def test_unsaturable_at_max_rate_returns_max():
+    # a single-router network cannot saturate on 1-flit packets at any rate
+    net = mesh((2, 2), nodes_per_router=1)
+    tables = dimension_order_tables(net)
+    sat = find_saturation(
+        net, tables, cycles=600, packet_size=1, max_rate=0.05, resolution=0.01
+    )
+    assert sat == 0.05
+
+
+@pytest.mark.slow
+def test_fracta_saturates_above_fat_tree():
+    """The §4.0 headline, as a single number: the fractahedron's
+    saturation rate exceeds the fat tree's."""
+    from repro.core.fractahedron import fat_fractahedron
+    from repro.core.routing import fractahedral_tables
+    from repro.topology.fattree import fat_tree, fat_tree_tables
+
+    ft = fat_tree(3, down=4, up=2)
+    fr = fat_fractahedron(2)
+    sat_ft = find_saturation(ft, fat_tree_tables(ft), cycles=1200, resolution=0.005)
+    sat_fr = find_saturation(fr, fractahedral_tables(fr), cycles=1200, resolution=0.005)
+    assert sat_fr > sat_ft

@@ -1,0 +1,91 @@
+"""Unit tests for simulation tracing."""
+
+import pytest
+
+from repro.experiments.fig1_deadlock import build, clockwise_tables, figure1_pattern
+from repro.routing.base import compute_route
+from repro.routing.dimension_order import dimension_order_tables
+from repro.sim.engine import SimConfig
+from repro.sim.network_sim import WormholeSim
+from repro.sim.trace import SimTrace
+from repro.sim.traffic import pairs_traffic
+
+
+def test_trace_records_packet_lifecycle():
+    net = build()
+    tables = dimension_order_tables(net)
+    trace = SimTrace()
+    sim = WormholeSim(net, tables, pairs_traffic([("n0", "n3")], 4), trace=trace)
+    sim.run(100, drain=True)
+    kinds = [e.kind for e in trace.for_packet(0)]
+    assert kinds[0] == "inject"
+    assert kinds[-1] == "deliver"
+    assert kinds.count("traverse") == len(
+        compute_route(net, tables, "n0", "n3").links
+    )
+
+
+def test_packet_path_matches_route():
+    net = build()
+    tables = dimension_order_tables(net)
+    trace = SimTrace()
+    sim = WormholeSim(net, tables, pairs_traffic([("n0", "n3")], 4), trace=trace)
+    sim.run(100, drain=True)
+    route = compute_route(net, tables, "n0", "n3")
+    assert trace.packet_path(0) == list(route.links)
+
+
+def test_deadlock_event_recorded():
+    net = build()
+    trace = SimTrace()
+    sim = WormholeSim(
+        net,
+        clockwise_tables(net),
+        pairs_traffic(figure1_pattern(net), 16),
+        SimConfig(buffer_depth=2, raise_on_deadlock=False, stall_threshold=16),
+        trace=trace,
+    )
+    sim.run(500, drain=True)
+    assert len(trace.deadlock_events()) == 1
+
+
+def test_bounded_buffer_drops():
+    net = build()
+    tables = dimension_order_tables(net)
+    trace = SimTrace(max_events=3)
+    sim = WormholeSim(
+        net, tables, pairs_traffic(figure1_pattern(net), 4), trace=trace
+    )
+    sim.run(100, drain=True)
+    assert len(trace) == 3
+    assert trace.dropped > 0
+    assert "dropped" in trace.render()
+
+
+def test_render_filters_and_limits():
+    net = build()
+    tables = dimension_order_tables(net)
+    trace = SimTrace()
+    sim = WormholeSim(
+        net, tables, pairs_traffic(figure1_pattern(net), 4), trace=trace
+    )
+    sim.run(100, drain=True)
+    text = trace.render(packet_id=1)
+    assert "p1" in text and "p0" not in text
+    short = trace.render(limit=2)
+    assert "more events" in short
+
+
+def test_at_cycle():
+    net = build()
+    tables = dimension_order_tables(net)
+    trace = SimTrace()
+    sim = WormholeSim(net, tables, pairs_traffic([("n0", "n3")], 2), trace=trace)
+    sim.run(100, drain=True)
+    inject = trace.for_packet(0)[0]
+    assert inject in trace.at_cycle(inject.cycle)
+
+
+def test_bad_max_events():
+    with pytest.raises(ValueError):
+        SimTrace(max_events=0)

@@ -1,0 +1,85 @@
+"""Unit tests for traffic generation."""
+
+import pytest
+
+from repro.sim.traffic import (
+    explicit_traffic,
+    hotspot_traffic,
+    pairs_traffic,
+    permutation_traffic,
+    uniform_traffic,
+)
+
+NODES = [f"n{i}" for i in range(8)]
+
+
+class TestUniform:
+    def test_rate_zero_generates_nothing(self):
+        gen = uniform_traffic(NODES, rate=0.0)
+        assert all(gen(c) == [] for c in range(50))
+
+    def test_rate_one_generates_everywhere(self):
+        gen = uniform_traffic(NODES, rate=1.0, packet_size=3)
+        packets = gen(0)
+        assert len(packets) == len(NODES)
+        assert all(p.size == 3 and p.src != p.dst for p in packets)
+
+    def test_reproducible(self):
+        a = uniform_traffic(NODES, rate=0.5, seed=42)
+        b = uniform_traffic(NODES, rate=0.5, seed=42)
+        for cycle in range(20):
+            pa = [(p.src, p.dst) for p in a(cycle)]
+            pb = [(p.src, p.dst) for p in b(cycle)]
+            assert pa == pb
+
+    def test_sequences_monotonic_per_pair(self):
+        gen = uniform_traffic(NODES, rate=1.0, seed=7)
+        seen: dict[tuple[str, str], int] = {}
+        for cycle in range(30):
+            for p in gen(cycle):
+                last = seen.get((p.src, p.dst), -1)
+                assert p.sequence == last + 1
+                seen[(p.src, p.dst)] = p.sequence
+
+    def test_unique_packet_ids(self):
+        gen = uniform_traffic(NODES, rate=1.0)
+        ids = [p.packet_id for c in range(10) for p in gen(c)]
+        assert len(ids) == len(set(ids))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_traffic(NODES, rate=1.5)
+
+
+class TestPermutation:
+    def test_fixed_partners(self):
+        pairs = [("n0", "n1"), ("n2", "n3")]
+        gen = permutation_traffic(pairs, rate=1.0)
+        for cycle in range(5):
+            assert {(p.src, p.dst) for p in gen(cycle)} == set(pairs)
+
+
+class TestExplicit:
+    def test_schedule_replay(self):
+        gen = explicit_traffic([(0, "a", "b", 4), (3, "c", "d", 2)])
+        assert [(p.src, p.dst, p.size) for p in gen(0)] == [("a", "b", 4)]
+        assert gen(1) == []
+        assert [(p.src, p.dst) for p in gen(3)] == [("c", "d")]
+
+    def test_pairs_traffic_single_burst(self):
+        gen = pairs_traffic([("a", "b"), ("c", "d")], packet_size=5)
+        assert len(gen(0)) == 2
+        assert gen(1) == []
+
+
+class TestHotspot:
+    def test_hotspot_bias(self):
+        gen = hotspot_traffic(NODES, hotspots=["n0"], rate=1.0, hotspot_fraction=0.9)
+        dests = [p.dst for c in range(40) for p in gen(c)]
+        hot_count = sum(1 for d in dests if d == "n0")
+        assert hot_count > len(dests) * 0.5
+
+    def test_no_self_traffic(self):
+        gen = hotspot_traffic(NODES, hotspots=["n0"], rate=1.0, hotspot_fraction=1.0)
+        for c in range(20):
+            assert all(p.src != p.dst for p in gen(c))

@@ -1,0 +1,80 @@
+"""CLI smoke tests (in-process, via main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "fig1" in out
+
+
+def test_topologies_listing(capsys):
+    assert main(["topologies"]) == 0
+    out = capsys.readouterr().out
+    assert "fat_fractahedron" in out
+
+
+def test_run_fig3(capsys):
+    assert main(["run", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "3:1" in out
+
+
+def test_run_unknown(capsys):
+    assert main(["run", "nonsense"]) == 1
+
+
+def test_build(capsys):
+    assert main(["build", "fat_fractahedron", "--param", "levels=2"]) == 0
+    out = capsys.readouterr().out
+    assert "48 routers" in out and "64 end nodes" in out
+
+
+def test_build_bad_param():
+    with pytest.raises(SystemExit):
+        main(["build", "ring", "--param", "oops"])
+
+
+def test_certify(capsys):
+    assert main(["certify", "fat_fractahedron", "--param", "levels=2"]) == 0
+    out = capsys.readouterr().out
+    assert "deadlock_free=True" in out
+
+
+def test_certify_mesh(capsys):
+    assert main(["certify", "mesh", "--param", "shape=(3,3)"]) == 0
+    assert "deadlock_free=True" in capsys.readouterr().out
+
+
+def test_simulate(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "ring",
+                "--param",
+                "num_routers=4",
+                "--rate",
+                "0.02",
+                "--cycles",
+                "400",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "avg latency" in out
+
+
+def test_build_save_and_inspect(tmp_path, capsys):
+    path = str(tmp_path / "fabric.json")
+    assert (
+        main(["build", "fat_fractahedron", "--param", "levels=1", "--save", path]) == 0
+    )
+    capsys.readouterr()
+    assert main(["inspect", path]) == 0
+    out = capsys.readouterr().out
+    assert "deadlock_free=True" in out

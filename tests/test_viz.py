@@ -1,0 +1,54 @@
+"""Unit tests for the text renderer."""
+
+from repro.core.fractahedron import fat_fractahedron, thin_fractahedron
+from repro.topology.mesh import mesh
+from repro.topology.ring import ring
+from repro.topology.torus import torus
+from repro.viz import render, render_adjacency, render_fractahedron, render_mesh
+
+
+def test_mesh_grid_shape():
+    text = render_mesh(mesh((3, 2), nodes_per_router=1))
+    assert text.count("[") == 6
+    assert "3x2 mesh" in text
+
+
+def test_torus_notes_wrap():
+    text = render(torus((3, 3), nodes_per_router=1))
+    assert "torus" in text and "wrap-around" in text
+
+
+def test_fractahedron_summary():
+    text = render_fractahedron(fat_fractahedron(2))
+    assert "fat fractahedron" in text
+    assert "8 group(s)" in text
+    assert "4 layer(s)" in text
+    assert "up ports reserved" in text
+
+
+def test_thin_fractahedron_summary():
+    text = render(thin_fractahedron(2))
+    assert "thin fractahedron" in text
+    assert "1 layer(s)" in text
+
+
+def test_fanout_stage_shown():
+    text = render(fat_fractahedron(1, fanout_width=2))
+    assert "fan-out stage: 8 routers" in text
+
+
+def test_adjacency_fallback():
+    text = render(ring(4, nodes_per_router=1))
+    assert "R0" in text and "->" in text
+
+
+def test_adjacency_truncates():
+    text = render_adjacency(ring(8, nodes_per_router=1), max_rows=3)
+    assert "more routers" in text
+
+
+def test_cli_show(capsys):
+    from repro.cli import main
+
+    assert main(["show", "fat_fractahedron", "--param", "levels=1"]) == 0
+    assert "fractahedron" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Unit tests for torus, ring, star, trees, CCC and shuffle-exchange."""
+
+import networkx as nx
+import pytest
+
+from repro.network.validate import validate_network
+from repro.topology.ccc import cube_connected_cycles
+from repro.topology.ring import ring
+from repro.topology.shuffle_exchange import shuffle_exchange
+from repro.topology.star import star
+from repro.topology.torus import torus
+from repro.topology.tree import binary_tree, kary_tree
+
+
+class TestTorus:
+    def test_all_dimensions_wrapped(self):
+        net = torus((4, 4), nodes_per_router=1)
+        assert net.attrs["wrap"] == (0, 1)
+        assert net.links_between("R3,0", "R0,0")
+        assert net.links_between("R0,3", "R0,0")
+
+    def test_every_router_has_four_fabric_links(self):
+        net = torus((4, 4), nodes_per_router=1)
+        for router in net.routers():
+            fabric = [
+                l for l in net.out_links(router.node_id) if net.node(l.dst).is_router
+            ]
+            assert len(fabric) == 4
+
+
+class TestRing:
+    def test_structure(self):
+        net = ring(5, nodes_per_router=1)
+        assert net.num_routers == 5
+        g = net.to_networkx_undirected(routers_only=True)
+        assert nx.is_connected(g)
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_validates(self):
+        assert validate_network(ring(6)) == []
+
+
+class TestStar:
+    def test_structure(self):
+        net = star(4, nodes_per_leaf=2)
+        assert net.num_routers == 5
+        assert net.num_end_nodes == 8
+        assert len(net.neighbors("HUB")) == 4
+
+    def test_hub_budget(self):
+        with pytest.raises(ValueError):
+            star(7, router_radix=6)
+
+
+class TestTrees:
+    def test_binary_tree_counts(self):
+        net = binary_tree(3, nodes_per_leaf=2)
+        assert net.num_routers == 1 + 2 + 4
+        assert net.num_end_nodes == 8
+
+    def test_tree_is_acyclic(self):
+        net = kary_tree(3, 3, nodes_per_leaf=1)
+        g = net.to_networkx_undirected(routers_only=True)
+        assert nx.is_tree(g)
+
+    def test_arity_budget(self):
+        with pytest.raises(ValueError):
+            kary_tree(6, 2)  # 6 children + uplink > 6 ports
+
+    def test_depth_one_is_single_router(self):
+        net = kary_tree(2, 1, nodes_per_leaf=3)
+        assert net.num_routers == 1
+        assert net.num_end_nodes == 3
+
+
+class TestCCC:
+    def test_counts(self):
+        net = cube_connected_cycles(3, nodes_per_router=1)
+        assert net.num_routers == 3 * 8
+        assert net.num_end_nodes == 24
+
+    def test_constant_fabric_degree(self):
+        net = cube_connected_cycles(3, nodes_per_router=1)
+        for router in net.routers():
+            fabric = [
+                l for l in net.out_links(router.node_id) if net.node(l.dst).is_router
+            ]
+            assert len(fabric) == 3  # 2 ring + 1 cube
+
+    def test_connected(self):
+        net = cube_connected_cycles(3)
+        assert validate_network(net) == []
+
+    def test_dimension_two(self):
+        net = cube_connected_cycles(2, nodes_per_router=1)
+        assert net.num_routers == 8
+        assert validate_network(net) == []
+
+
+class TestShuffleExchange:
+    def test_counts(self):
+        net = shuffle_exchange(3, nodes_per_router=1)
+        assert net.num_routers == 8
+
+    def test_connected(self):
+        for d in (2, 3, 4):
+            net = shuffle_exchange(d)
+            issues = [i for i in validate_network(net) if i.severity == "error"]
+            assert issues == [], (d, issues)
+
+    def test_shuffle_edges_present(self):
+        net = shuffle_exchange(3, nodes_per_router=1)
+        # 001 shuffles to 010
+        assert net.links_between("S001", "S010")
+        # exchange: 010 <-> 011
+        assert net.links_between("S010", "S011")

@@ -1,0 +1,76 @@
+"""Unit tests for the folded butterfly (the intro's multistage network)."""
+
+import pytest
+
+from repro.deadlock.analysis import certify_deadlock_free
+from repro.network.validate import validate_network
+from repro.routing.base import all_pairs_routes, compute_route
+from repro.routing.validate import validate_routing
+from repro.topology.butterfly import butterfly, butterfly_tables
+
+
+def test_counts_3ary_2fly():
+    net = butterfly(3, 2)
+    assert net.num_end_nodes == 9
+    assert net.num_routers == 2 * 3  # 2 stages x 3 rows
+
+
+def test_counts_2ary_3fly():
+    net = butterfly(2, 3)
+    assert net.num_end_nodes == 8
+    assert net.num_routers == 3 * 4
+
+
+def test_port_budget():
+    """§3.2-style arithmetic: a k x k switch needs 2k ports."""
+    with pytest.raises(ValueError, match="ports"):
+        butterfly(4, 2, router_radix=6)
+    net = butterfly(3, 2, router_radix=6)
+    for r in net.routers():
+        assert net.used_ports(r.node_id) <= 6
+
+
+def test_structure_validates():
+    for arity, stages in ((2, 2), (2, 3), (3, 2), (3, 3)):
+        net = butterfly(arity, stages)
+        errors = [i for i in validate_network(net, require_end_nodes=True)
+                  if i.severity == "error"]
+        assert errors == [], (arity, stages)
+
+
+@pytest.mark.parametrize("arity,stages", [(2, 2), (2, 3), (3, 2), (3, 3)])
+def test_routing_delivers_and_is_deadlock_free(arity, stages):
+    net = butterfly(arity, stages)
+    tables = butterfly_tables(net)
+    assert validate_routing(net, tables).ok
+    assert certify_deadlock_free(net, tables).certified
+
+
+def test_same_switch_is_one_hop():
+    net = butterfly(3, 2)
+    tables = butterfly_tables(net)
+    ends = net.attached_end_nodes("B0.0")
+    route = compute_route(net, tables, ends[0], ends[1])
+    assert route.router_hops == 1
+
+
+def test_cross_network_hops():
+    """The worst route climbs all stages and descends: 2*stages - 1 switches."""
+    net = butterfly(2, 3)
+    tables = butterfly_tables(net)
+    from repro.metrics.hops import hop_stats
+
+    stats = hop_stats(all_pairs_routes(net, tables))
+    assert stats.maximum == 2 * 3 - 1
+
+
+def test_routes_climb_then_descend():
+    net = butterfly(2, 3)
+    tables = butterfly_tables(net)
+    for route in all_pairs_routes(net, tables):
+        stages = [
+            net.node(n).attrs["stage"] for n in route.nodes if net.node(n).is_router
+        ]
+        peak = stages.index(max(stages))
+        assert stages[: peak + 1] == sorted(stages[: peak + 1])
+        assert stages[peak:] == sorted(stages[peak:], reverse=True)

@@ -1,0 +1,102 @@
+"""Unit tests for fat trees (§3.3, Figure 6)."""
+
+import pytest
+
+from repro.metrics.contention import worst_case_contention
+from repro.metrics.hops import hop_stats
+from repro.routing.validate import validate_routing
+from repro.topology.fattree import fat_tree, fat_tree_tables
+
+
+class TestStructure:
+    def test_paper_42_counts(self, fattree64):
+        assert fattree64.num_end_nodes == 64
+        assert fattree64.num_routers == 28  # 16 + 8 + 4
+
+    def test_level_router_counts(self, fattree64):
+        by_level = {}
+        for r in fattree64.routers():
+            by_level.setdefault(r.attrs["level"], 0)
+            by_level[r.attrs["level"]] += 1
+        assert by_level == {1: 16, 2: 8, 3: 4}
+
+    def test_leaf_routers_have_two_uplinks_to_distinct_l2(self, fattree64):
+        for r in fattree64.routers():
+            if r.attrs["level"] != 1:
+                continue
+            ups = [
+                l.dst
+                for l in fattree64.out_links(r.node_id)
+                if fattree64.node(l.dst).is_router
+            ]
+            assert len(ups) == 2
+            assert len(set(ups)) == 2
+
+    def test_top_level_up_ports_reserved(self, fattree64):
+        """The paper reserves top-level up links for future expansion."""
+        for r in fattree64.routers():
+            if r.attrs["level"] == 3:
+                assert fattree64.free_ports(r.node_id) == 2
+
+    def test_node_numbering_groups_by_branch(self, fattree64):
+        # nodes 0-15 live under top-level branch 0
+        for i in range(16):
+            leaf = fattree64.attached_router(f"n{i}")
+            assert fattree64.node(leaf).attrs["path"][0] == 0
+        assert fattree64.node(fattree64.attached_router("n16")).attrs["path"][0] == 1
+
+    def test_33_tree_prunes_to_paper_router_count(self):
+        net = fat_tree(4, down=3, up=3, num_nodes=64)
+        assert net.num_end_nodes == 64
+        assert net.num_routers == 100  # §3.3: "would require 100 routers"
+
+    def test_height_one(self):
+        net = fat_tree(1, down=4, up=2)
+        assert net.num_routers == 1
+        assert net.num_end_nodes == 4
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            fat_tree(0)
+        with pytest.raises(ValueError):
+            fat_tree(2, down=5, up=2, router_radix=6)
+        with pytest.raises(ValueError):
+            fat_tree(2, down=4, up=2, num_nodes=0)
+        with pytest.raises(ValueError):
+            fat_tree(2, down=4, up=2, num_nodes=17)
+
+
+class TestRouting:
+    def test_all_pairs_deliverable(self, fattree64, fattree64_tables):
+        report = validate_routing(fattree64, fattree64_tables, max_router_hops=5)
+        assert report.ok
+        assert report.max_router_hops == 5
+
+    def test_paper_average_hops(self, fattree64_routes):
+        stats = hop_stats(fattree64_routes)
+        assert stats.maximum == 5
+        assert abs(stats.mean - 4.43) < 0.01  # the paper rounds to 4.4
+
+    def test_paper_contention_is_optimal_12(self, fattree64, fattree64_routes):
+        """§3.3: no static partitioning beats 12:1 -- ours achieves it."""
+        assert worst_case_contention(fattree64, fattree64_routes).contention == 12
+
+    def test_33_tree_average_hops(self):
+        net = fat_tree(4, down=3, up=3, num_nodes=64)
+        tables = fat_tree_tables(net)
+        from repro.routing.base import all_pairs_routes
+
+        stats = hop_stats(all_pairs_routes(net, tables))
+        assert abs(stats.mean - 5.9) < 0.15  # paper: 5.9 average
+
+    def test_intra_group_routes_are_three_hops(self, fattree64, fattree64_tables):
+        from repro.routing.base import compute_route
+
+        # n0 and n4 share a height-2 group but not a leaf router
+        route = compute_route(fattree64, fattree64_tables, "n0", "n4")
+        assert route.router_hops == 3
+
+    def test_same_leaf_route_single_hop(self, fattree64, fattree64_tables):
+        from repro.routing.base import compute_route
+
+        assert compute_route(fattree64, fattree64_tables, "n0", "n1").router_hops == 1

@@ -1,0 +1,54 @@
+"""Unit tests for fully-connected assemblies (Figure 3)."""
+
+import pytest
+
+from repro.metrics.contention import worst_case_contention
+from repro.routing.base import all_pairs_routes
+from repro.routing.shortest_path import shortest_path_tables
+from repro.topology.fully_connected import assembly_end_ports, fully_connected_assembly
+
+#: The paper's Figure 3 table: M -> (end ports, contention).
+PAPER = {2: (10, 5), 3: (12, 4), 4: (12, 3), 5: (10, 2), 6: (6, 1)}
+
+
+@pytest.mark.parametrize("m", sorted(PAPER))
+def test_figure3_ports(m):
+    assert assembly_end_ports(m) == PAPER[m][0]
+    net = fully_connected_assembly(m)
+    assert net.num_end_nodes == PAPER[m][0]
+
+
+@pytest.mark.parametrize("m", sorted(PAPER))
+def test_figure3_contention(m):
+    net = fully_connected_assembly(m)
+    routes = all_pairs_routes(net, shortest_path_tables(net))
+    assert worst_case_contention(net, routes).contention == PAPER[m][1]
+
+
+def test_all_router_pairs_cabled():
+    net = fully_connected_assembly(4)
+    routers = net.router_ids()
+    for i, a in enumerate(routers):
+        for b in routers[i + 1 :]:
+            assert net.links_between(a, b)
+
+
+def test_fill_nodes_false_leaves_ports_free():
+    net = fully_connected_assembly(4, fill_nodes=False)
+    assert net.num_end_nodes == 0
+    assert all(net.free_ports(r) == 3 for r in net.router_ids())
+
+
+def test_assembly_size_bounds():
+    with pytest.raises(ValueError):
+        assembly_end_ports(1)
+    with pytest.raises(ValueError):
+        assembly_end_ports(8, router_radix=6)
+
+
+def test_m4_preferred_over_m3():
+    """§3.0: same ports, lower contention -> the tetrahedron wins."""
+    ports3, cont3 = PAPER[3]
+    ports4, cont4 = PAPER[4]
+    assert ports3 == ports4 == 12
+    assert cont4 < cont3

@@ -1,0 +1,66 @@
+"""Unit tests for the mesh builder."""
+
+import pytest
+
+from repro.topology.mesh import mesh, router_id_at
+
+
+def test_router_count_and_coords():
+    net = mesh((3, 4), nodes_per_router=1)
+    assert net.num_routers == 12
+    assert net.node("R2,3").attrs["coord"] == (2, 3)
+    assert net.attrs["shape"] == (3, 4)
+    assert net.attrs["wrap"] == ()
+
+
+def test_interior_router_has_four_mesh_links():
+    net = mesh((3, 3), nodes_per_router=1)
+    center = "R1,1"
+    neighbors = {l.dst for l in net.out_links(center) if net.node(l.dst).is_router}
+    assert neighbors == {"R0,1", "R2,1", "R1,0", "R1,2"}
+
+
+def test_corner_router_has_two_mesh_links():
+    net = mesh((3, 3), nodes_per_router=1)
+    corner_links = [l for l in net.out_links("R0,0") if net.node(l.dst).is_router]
+    assert len(corner_links) == 2
+
+
+def test_paper_66_dimensions():
+    """§3.1: 64 nodes need a 6x6 mesh with two nodes per 6-port router."""
+    net = mesh((6, 6), nodes_per_router=2)
+    assert net.num_routers == 36
+    assert net.num_end_nodes == 72  # 64 of these would be populated
+    # interior routers use all six ports: 4 mesh + 2 nodes
+    assert net.free_ports("R2,2") == 0
+
+
+def test_six_port_budget_enforced():
+    with pytest.raises(Exception):
+        mesh((3, 3), nodes_per_router=3)  # 4 + 3 > 6 at interior routers
+
+
+def test_three_dimensional_mesh():
+    net = mesh((2, 2, 2), nodes_per_router=1, router_radix=7)
+    assert net.num_routers == 8
+    # every router has 3 mesh links in a 2x2x2 mesh corner-only grid
+    links = [l for l in net.out_links("R0,0,0") if net.node(l.dst).is_router]
+    assert len(links) == 3
+
+
+def test_dimension_too_small_rejected():
+    with pytest.raises(ValueError):
+        mesh((1, 5))
+
+
+def test_wrap_adds_ring_links():
+    net = mesh((4, 4), nodes_per_router=1, wrap=(0,))
+    assert net.links_between("R3,0", "R0,0")
+    assert not net.links_between("R0,3", router_id_at((0, 0)))
+
+
+def test_end_nodes_attached_in_router_order():
+    net = mesh((2, 2), nodes_per_router=2)
+    assert net.attached_router("n0") == "R0,0"
+    assert net.attached_router("n1") == "R0,0"
+    assert net.attached_router("n2") == "R0,1"

@@ -1,0 +1,35 @@
+"""Unit tests for the topology registry."""
+
+import pytest
+
+from repro.topology.registry import available_topologies, build_topology
+
+
+def test_lists_all_builders():
+    names = available_topologies()
+    for expected in (
+        "mesh",
+        "torus",
+        "ring",
+        "star",
+        "hypercube",
+        "fat_tree",
+        "thin_fractahedron",
+        "fat_fractahedron",
+    ):
+        assert expected in names
+
+
+def test_build_by_name():
+    net = build_topology("ring", num_routers=4)
+    assert net.num_routers == 4
+
+
+def test_build_fractahedron_by_name():
+    net = build_topology("fat_fractahedron", levels=2)
+    assert net.num_end_nodes == 64
+
+
+def test_unknown_name():
+    with pytest.raises(ValueError, match="unknown topology"):
+        build_topology("klein_bottle")

@@ -1,0 +1,65 @@
+"""Unit tests for the paper's adversarial transfer sets."""
+
+import pytest
+
+from repro.topology.mesh import mesh
+from repro.workloads.adversarial import (
+    fattree_12_to_1,
+    fracta_diagonal_4_to_1,
+    fracta_downlink_worst,
+    mesh_corner_turn,
+)
+
+
+def test_mesh_corner_turn_pairs(mesh66):
+    pairs = mesh_corner_turn(mesh66)
+    assert len(pairs) == 10
+    # all sources in column A (x=0), all destinations in row 6 (y=5)
+    for s, d in pairs:
+        sx, _sy = mesh66.node(mesh66.attached_router(s)).attrs["coord"]
+        dx, dy = mesh66.node(mesh66.attached_router(d)).attrs["coord"]
+        assert sx == 0 and dy == 5 and dx > 0
+
+
+def test_mesh_corner_turn_requires_66():
+    with pytest.raises(ValueError):
+        mesh_corner_turn(mesh((4, 4)))
+
+
+def test_fattree_pattern_nodes(fattree64):
+    pairs = fattree_12_to_1(fattree64)
+    assert len(pairs) == 12
+    assert pairs[0] == ("n16", "n48")
+
+
+def test_fattree_pattern_requires_fat_tree(mesh66):
+    with pytest.raises(ValueError):
+        fattree_12_to_1(mesh66)
+
+
+def test_fracta_diagonal_nodes(fracta64):
+    assert fracta_diagonal_4_to_1(fracta64) == [
+        ("n6", "n54"),
+        ("n7", "n55"),
+        ("n14", "n62"),
+        ("n15", "n63"),
+    ]
+
+
+def test_fracta_downlink_sources_are_corner_three(fracta64):
+    from repro.core.addressing import decode_address
+
+    pairs = fracta_downlink_worst(fracta64)
+    assert len(pairs) == 8
+    for s, d in pairs:
+        s_addr = decode_address(int(s[1:]), levels=2)
+        d_addr = decode_address(int(d[1:]), levels=2)
+        assert s_addr.corner == 3
+        assert d_addr.tetra_index == 7
+
+
+def test_fracta_patterns_require_fracta(mesh66):
+    with pytest.raises(ValueError):
+        fracta_diagonal_4_to_1(mesh66)
+    with pytest.raises(ValueError):
+        fracta_downlink_worst(mesh66)

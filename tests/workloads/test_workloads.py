@@ -1,0 +1,126 @@
+"""Unit tests for workload patterns."""
+
+import pytest
+
+from repro.workloads.database import DatabaseWorkload, random_cpu_disk_sets
+from repro.workloads.patterns import (
+    all_pairs,
+    all_to_one,
+    bit_reverse_permutation,
+    random_permutation,
+    ring_shift_permutation,
+    transpose_permutation,
+)
+
+NODES = [f"n{i}" for i in range(16)]
+
+
+class TestPatterns:
+    def test_all_pairs_count(self):
+        pairs = all_pairs(NODES)
+        assert len(pairs) == 16 * 15
+        assert all(s != d for s, d in pairs)
+
+    def test_all_to_one(self):
+        pairs = all_to_one(NODES, target_index=3)
+        assert len(pairs) == 15
+        assert all(d == "n3" for _s, d in pairs)
+
+    def test_ring_shift(self):
+        pairs = ring_shift_permutation(NODES, shift=1)
+        assert ("n15", "n0") in pairs
+        assert len(pairs) == 16
+
+    def test_ring_shift_zero_empty(self):
+        assert ring_shift_permutation(NODES, shift=0) == []
+
+    def test_bit_reverse_is_involution(self):
+        pairs = dict(bit_reverse_permutation(NODES))
+        for s, d in pairs.items():
+            assert pairs.get(d, s if d == s else None) in (s, None) or pairs[d] == s
+        # spot check: 0001 -> 1000
+        assert pairs["n1"] == "n8"
+
+    def test_bit_reverse_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(NODES[:6])
+
+    def test_transpose(self):
+        pairs = dict(transpose_permutation(NODES))
+        # (hi=1, lo=2) -> (hi=2, lo=1): n6 -> n9 with 2+2 bit halves
+        assert pairs["n6"] == "n9"
+
+    def test_transpose_needs_even_bits(self):
+        with pytest.raises(ValueError):
+            transpose_permutation([f"n{i}" for i in range(8)])
+
+    def test_random_permutation_valid(self):
+        pairs = random_permutation(NODES, seed=1)
+        srcs = [s for s, _ in pairs]
+        dsts = [d for _, d in pairs]
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)
+        assert all(s != d for s, d in pairs)
+
+    def test_random_permutation_reproducible(self):
+        assert random_permutation(NODES, seed=5) == random_permutation(NODES, seed=5)
+
+
+class TestDatabase:
+    def test_query_shape(self):
+        queries = random_cpu_disk_sets(NODES[:8], NODES[8:], set_size=4, num_queries=10)
+        assert len(queries) == 10
+        for q in queries:
+            assert len(q) == 4
+            cpus = [c for c, _ in q]
+            disks = [d for _, d in q]
+            assert len(set(cpus)) == 4 and len(set(disks)) == 4
+
+    def test_set_size_bound(self):
+        with pytest.raises(ValueError):
+            random_cpu_disk_sets(NODES[:2], NODES[2:], set_size=4)
+
+    def test_workload_split(self):
+        wl = DatabaseWorkload(NODES)
+        assert len(wl.cpus) == 8 and len(wl.disks) == 8
+        assert set(wl.cpus).isdisjoint(wl.disks)
+
+    def test_bidirectional_queries(self):
+        wl = DatabaseWorkload(NODES, set_size=2)
+        for q in wl.bidirectional_queries(5):
+            assert len(q) == 4  # 2 requests + 2 responses
+            fwd = set(q[:2])
+            rev = {(b, a) for a, b in q[2:]}
+            assert fwd == rev
+
+    def test_no_disks_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseWorkload(NODES[:4], cpu_fraction=1.0)
+
+
+class TestTornado:
+    def test_tornado_shift(self):
+        from repro.workloads.patterns import tornado_permutation
+
+        pairs = dict(tornado_permutation(NODES))
+        assert pairs["n0"] == "n7"  # ceil(16/2) - 1 = 7
+        assert len(pairs) == 16
+
+    def test_tornado_adversarial_on_ring(self):
+        """Tornado concentrates all traffic one way around each ring."""
+        from repro.metrics.utilization import channel_loads
+        from repro.routing.dimension_order import dimension_order_tables
+        from repro.routing.base import routes_for_pairs
+        from repro.topology.torus import torus
+        from repro.workloads.patterns import tornado_permutation
+
+        net = torus((8,), nodes_per_router=1, router_radix=6)
+        tables = dimension_order_tables(net)
+        pairs = tornado_permutation(net.end_node_ids())
+        routes = routes_for_pairs(net, tables, pairs)
+        loads = channel_loads(net, routes)
+        # all clockwise channels loaded equally; counter-clockwise idle
+        used = sorted(v for v in loads.values() if v)
+        idle = [v for v in loads.values() if not v]
+        assert len(used) == len(idle) == 8
+        assert len(set(used)) == 1
