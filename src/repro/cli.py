@@ -33,26 +33,19 @@ def _parse_params(pairs: list[str]) -> dict[str, Any]:
 
 
 def _routing_for(net):
-    """Pick the matching routing algorithm for a built topology."""
-    from repro.core.routing import fractahedral_tables
-    from repro.routing.dimension_order import dimension_order_tables
-    from repro.routing.ecube import ecube_tables
-    from repro.routing.shortest_path import shortest_path_tables
-    from repro.topology.butterfly import butterfly_tables
-    from repro.topology.fattree import fat_tree_tables
+    """Pick (and cache) the matching routing tables for a built topology."""
+    from repro.routing.cache import cached_tables
 
-    topology = net.attrs.get("topology", "")
-    if topology == "butterfly":
-        return butterfly_tables(net)
-    if "fractahedron" in topology:
-        return fractahedral_tables(net)
-    if topology == "fat_tree":
-        return fat_tree_tables(net)
-    if topology in ("mesh", "torus", "ring"):
-        return dimension_order_tables(net)
-    if topology == "hypercube":
-        return ecube_tables(net)
-    return shortest_path_tables(net)
+    return cached_tables(net)
+
+
+def _supports_kw(fn, name: str) -> bool:
+    import inspect
+
+    try:
+        return name in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
 
 
 def cmd_experiments(_args) -> int:
@@ -68,13 +61,67 @@ def cmd_run(args) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; try 'fractanet experiments'")
+        return 1
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1 and len(names) > 1:
+        # Whole experiments are the unit of parallelism for `run all`.
+        from repro.sim.parallel import SweepRunner
+
+        runner = SweepRunner(jobs)
+        reports = runner.run_experiment_reports(names)
+        for name in names:
+            print(reports[name])
+            print()
+        print(runner.stats.report())
+        return 0
     for name in names:
-        module = ALL_EXPERIMENTS.get(name)
-        if module is None:
-            print(f"unknown experiment {name!r}; try 'fractanet experiments'")
-            return 1
-        print(module.report())
+        module = ALL_EXPERIMENTS[name]
+        if jobs > 1 and _supports_kw(module.report, "jobs"):
+            print(module.report(jobs=jobs))
+        else:
+            print(module.report())
         print()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Latency curve / saturation search through the parallel runner."""
+    from repro.sim.parallel import SweepRunner
+    from repro.sim.sweep import find_saturation
+    from repro.topology.registry import build_topology
+
+    net = build_topology(args.topology, **_parse_params(args.param))
+    tables = _routing_for(net)
+    runner = SweepRunner(args.jobs)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    points = runner.latency_curve(
+        (net, tables),
+        rates,
+        cycles=args.cycles,
+        packet_size=args.packet_size,
+        switching=args.switching,
+    )
+    print(f"{net.name} ({args.switching}):")
+    print("  offered   accepted    avg lat    p99 lat")
+    for p in points:
+        print(
+            f"  {p.offered_rate:.4f}    {p.accepted_flits_per_node_cycle:.4f}      "
+            f"{p.avg_latency:7.1f}    {p.p99_latency:7.1f}"
+            + ("   SATURATED" if p.saturated else "")
+        )
+    if args.saturation:
+        sat = find_saturation(
+            net,
+            tables,
+            cycles=args.cycles,
+            packet_size=args.packet_size,
+            switching=args.switching,
+        )
+        print(f"  saturation rate: {sat:.4f} flits/node/cycle")
+    print(runner.stats.report(per_task=args.verbose))
     return 0
 
 
@@ -110,7 +157,7 @@ def cmd_build(args) -> int:
 def cmd_reproduce(args) -> int:
     from repro.experiments.summary import reproduce, transcript, write_results
 
-    record = reproduce()
+    record = reproduce(jobs=getattr(args, "jobs", 1))
     print(transcript(record))
     if args.out:
         write_results(args.out, record)
@@ -197,7 +244,27 @@ def main(argv: list[str] | None = None) -> int:
 
     run_p = sub.add_parser("run", help="run an experiment (or 'all')")
     run_p.add_argument("experiment")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan independent tasks over N worker processes")
     run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="latency curve over offered load (parallel with --jobs)"
+    )
+    sweep_p.add_argument("topology")
+    sweep_p.add_argument("--param", action="append", default=[], metavar="key=value")
+    sweep_p.add_argument("--rates", default="0.002,0.005,0.01,0.02,0.04",
+                         metavar="R1,R2,...", help="offered rates to measure")
+    sweep_p.add_argument("--cycles", type=int, default=2000)
+    sweep_p.add_argument("--packet-size", type=int, default=8)
+    sweep_p.add_argument("--switching", default="wormhole",
+                         choices=("wormhole", "store_and_forward"))
+    sweep_p.add_argument("--saturation", action="store_true",
+                         help="also binary-search the saturation rate")
+    sweep_p.add_argument("--jobs", type=int, default=1, metavar="N")
+    sweep_p.add_argument("--verbose", action="store_true",
+                         help="print per-task timings")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     sub.add_parser("topologies", help="list topology builders").set_defaults(
         func=cmd_topologies
@@ -230,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     repro_p.add_argument("--out", metavar="FILE", default=None,
                          help="also write a machine-readable JSON record")
+    repro_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="pass a worker count to experiments that sweep")
     repro_p.set_defaults(func=cmd_reproduce)
 
     args = parser.parse_args(argv)

@@ -271,20 +271,33 @@ def switching_comparison(packet_size: int = 16) -> dict:
     }
 
 
-def run() -> dict:
-    return {
-        "assembly_sweep": assembly_sweep(),
-        "generalized_fracta": generalized_assembly_fracta(),
-        "fat_tree_splits": fat_tree_split_sweep(),
-        "thin_vs_fat": thin_vs_fat(),
-        "buffer_depth": buffer_depth_sweep(),
-        "vc_ring": vc_ring_demo(),
-        "switching": switching_comparison(),
-    }
+#: The independent sub-studies, each a parallelizable task.
+_STUDIES = {
+    "assembly_sweep": assembly_sweep,
+    "generalized_fracta": generalized_assembly_fracta,
+    "fat_tree_splits": fat_tree_split_sweep,
+    "thin_vs_fat": thin_vs_fat,
+    "buffer_depth": buffer_depth_sweep,
+    "vc_ring": vc_ring_demo,
+    "switching": switching_comparison,
+}
 
 
-def report() -> str:
-    r = run()
+def _run_study(name: str):
+    return _STUDIES[name]()
+
+
+def run(jobs: int = 1, runner=None) -> dict:
+    from repro.sim.parallel import SweepRunner
+
+    runner = runner or SweepRunner(jobs)
+    names = list(_STUDIES)
+    values = runner.map(_run_study, names, labels=[f"ablation {n}" for n in names])
+    return dict(zip(names, values))
+
+
+def report(jobs: int = 1) -> str:
+    r = run(jobs=jobs)
     lines = ["Ablations", "", "thin vs fat (with fan-out stage):"]
     for row in r["thin_vs_fat"]:
         lines.append(

@@ -20,9 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fractahedron import fat_fractahedron
-from repro.core.routing import fractahedral_tables
 from repro.routing.base import all_pairs_routes
+from repro.routing.cache import cached_tables
 from repro.servernet.fabric import DualFabric
+from repro.sim.parallel import SweepRunner, derive_seed
 
 __all__ = ["run", "report", "single_fabric_availability"]
 
@@ -52,50 +53,66 @@ def _random_cables(net, count: int, rng) -> list[str]:
     return [cables[int(i)] for i in picks]
 
 
+def _fault_row(args: tuple[int, int, int]) -> dict:
+    """All trials for one failure count -- one independent task.
+
+    The row's RNG seed is derived from (base seed, failure count) so the
+    rows are decoupled from each other: the same row comes back whether
+    its siblings ran before it (serial) or beside it (parallel).
+    """
+    k, trials, seed = args
+    net = fat_fractahedron(2)
+    tables = cached_tables(net)
+    routes = all_pairs_routes(net, tables)
+    pairs = routes.pairs()
+    rng = np.random.default_rng(derive_seed(seed, "failures", k))
+
+    single_vals = []
+    dual_vals = []
+    for _ in range(trials):
+        # single fabric: k failed cables
+        failed = {
+            frozenset((c, net.link(c).reverse_id))
+            for c in _random_cables(net, k, rng)
+        }
+        single_vals.append(single_fabric_availability(net, routes, failed))
+
+        # dual fabric: the same k failures, split across X and Y
+        fabric = DualFabric(
+            build=lambda: fat_fractahedron(2), route=cached_tables
+        )
+        for i, cable in enumerate(_random_cables(net, k, rng)):
+            fabric.fail_cable("X" if i % 2 == 0 else "Y", cable)
+        dual_vals.append(fabric.availability(pairs))
+    return {
+        "failures": k,
+        "single_avg": float(np.mean(single_vals)),
+        "single_min": float(np.min(single_vals)),
+        "dual_avg": float(np.mean(dual_vals)),
+        "dual_min": float(np.min(dual_vals)),
+        "pairs": len(pairs),
+    }
+
+
 def run(
     failure_counts: tuple[int, ...] = (1, 2, 4, 8),
     trials: int = 20,
     seed: int = 1996,
+    jobs: int = 1,
+    runner: SweepRunner | None = None,
 ) -> dict:
-    net = fat_fractahedron(2)
-    tables = fractahedral_tables(net)
-    routes = all_pairs_routes(net, tables)
-    pairs = routes.pairs()
-    rng = np.random.default_rng(seed)
-
-    rows = []
-    for k in failure_counts:
-        single_vals = []
-        dual_vals = []
-        for _ in range(trials):
-            # single fabric: k failed cables
-            failed = {
-                frozenset((c, net.link(c).reverse_id))
-                for c in _random_cables(net, k, rng)
-            }
-            single_vals.append(single_fabric_availability(net, routes, failed))
-
-            # dual fabric: the same k failures, split across X and Y
-            fabric = DualFabric(
-                build=lambda: fat_fractahedron(2), route=fractahedral_tables
-            )
-            for i, cable in enumerate(_random_cables(net, k, rng)):
-                fabric.fail_cable("X" if i % 2 == 0 else "Y", cable)
-            dual_vals.append(fabric.availability(pairs))
-        rows.append(
-            {
-                "failures": k,
-                "single_avg": float(np.mean(single_vals)),
-                "single_min": float(np.min(single_vals)),
-                "dual_avg": float(np.mean(dual_vals)),
-                "dual_min": float(np.min(dual_vals)),
-            }
-        )
-    return {"rows": rows, "pairs": len(pairs), "trials": trials}
+    runner = runner or SweepRunner(jobs)
+    rows = runner.map(
+        _fault_row,
+        [(k, trials, seed) for k in failure_counts],
+        labels=[f"faults k={k}" for k in failure_counts],
+    )
+    pairs = rows[0]["pairs"] if rows else 0
+    return {"rows": rows, "pairs": pairs, "trials": trials}
 
 
-def report() -> str:
-    result = run()
+def report(jobs: int = 1) -> str:
+    result = run(jobs=jobs)
     lines = [
         "Section 1.0: dual-fabric fault tolerance "
         f"(64-node fat fractahedron, {result['trials']} trials/point)",

@@ -22,14 +22,14 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.fractahedron import fat_fractahedron
-from repro.core.routing import fractahedral_tables
 from repro.network.graph import Network
 from repro.routing.base import RoutingTable
-from repro.routing.dimension_order import dimension_order_tables
+from repro.routing.cache import cached_tables
 from repro.sim.engine import SimConfig
 from repro.sim.network_sim import WormholeSim
+from repro.sim.parallel import SweepRunner, derive_seed
 from repro.sim.traffic import uniform_traffic
-from repro.topology.fattree import fat_tree, fat_tree_tables
+from repro.topology.fattree import fat_tree
 from repro.topology.mesh import mesh
 from repro.workloads.database import DatabaseWorkload
 
@@ -38,17 +38,17 @@ __all__ = ["CONTENDERS", "run", "report", "simulate_load_point"]
 
 def _mesh64() -> tuple[Network, RoutingTable]:
     net = mesh((6, 6), nodes_per_router=2)
-    return net, dimension_order_tables(net, order=(1, 0))
+    return net, cached_tables(net, order=(1, 0))
 
 
 def _fattree64() -> tuple[Network, RoutingTable]:
     net = fat_tree(3, down=4, up=2)
-    return net, fat_tree_tables(net)
+    return net, cached_tables(net)
 
 
 def _fracta64() -> tuple[Network, RoutingTable]:
     net = fat_fractahedron(2)
-    return net, fractahedral_tables(net)
+    return net, cached_tables(net)
 
 
 CONTENDERS: dict[str, Callable[[], tuple[Network, RoutingTable]]] = {
@@ -56,6 +56,16 @@ CONTENDERS: dict[str, Callable[[], tuple[Network, RoutingTable]]] = {
     "fat tree 4-2": _fattree64,
     "fat fractahedron": _fracta64,
 }
+
+#: Per-process memo so a worker builds each contender at most once.
+_CONTENDER_MEMO: dict[str, tuple[Network, RoutingTable]] = {}
+
+
+def _contender(name: str) -> tuple[Network, RoutingTable]:
+    got = _CONTENDER_MEMO.get(name)
+    if got is None:
+        got = _CONTENDER_MEMO[name] = CONTENDERS[name]()
+    return got
 
 
 def simulate_load_point(
@@ -168,7 +178,7 @@ def large_scale_point(
 
     params = FractaParams(levels, fat=fat, fanout_width=2)
     net = fractahedron(params)
-    tables = fractahedral_tables(net)
+    tables = cached_tables(net)
     point = simulate_load_point(net, tables, rate, cycles, packet_size)
     # zero-load model for the worst pair, for comparison
     from repro.experiments.table1_fractahedron import worst_pair
@@ -183,23 +193,60 @@ def large_scale_point(
     return point
 
 
+def _sweep_task(args: tuple[str, float, int]) -> dict:
+    """One (contender, rate) cell of the saturation grid."""
+    name, rate, cycles = args
+    net, tables = _contender(name)
+    return simulate_load_point(
+        net,
+        tables,
+        rate,
+        cycles,
+        seed=derive_seed(1996, "contender", name, "rate", repr(float(rate))),
+    )
+
+
+def _db_task(args: tuple[str, int]) -> dict:
+    name, cycles = args
+    net, tables = _contender(name)
+    return database_point(net, tables, cycles)
+
+
 def run(
     rates: tuple[float, ...] = (0.002, 0.005, 0.01, 0.02, 0.04),
     cycles: int = 3000,
+    jobs: int = 1,
+    runner: SweepRunner | None = None,
 ) -> dict:
+    """The full grid: |contenders| x |rates| sweep cells plus one database
+    workload per contender, all independent tasks fanned over the runner.
+
+    Pass a ``runner`` to keep its timing stats; otherwise one is created
+    with ``jobs`` workers.  Results are bit-identical for any worker count.
+    """
+    runner = runner or SweepRunner(jobs)
+    names = list(CONTENDERS)
+    grid = [(name, float(r), cycles) for name in names for r in rates]
+    points = runner.map(
+        _sweep_task, grid, labels=[f"{n} rate={r:g}" for n, r, _ in grid]
+    )
+    dbs = runner.map(
+        _db_task,
+        [(name, cycles) for name in names],
+        labels=[f"{n} database" for n in names],
+    )
     results: dict[str, dict] = {}
-    for name, build in CONTENDERS.items():
-        net, tables = build()
-        sweep = [simulate_load_point(net, tables, r, cycles) for r in rates]
+    for i, name in enumerate(names):
         results[name] = {
-            "sweep": sweep,
-            "database": database_point(net, tables, cycles),
+            "sweep": points[i * len(rates) : (i + 1) * len(rates)],
+            "database": dbs[i],
         }
     return results
 
 
-def report(cycles: int = 3000) -> str:
-    results = run(cycles=cycles)
+def report(cycles: int = 3000, jobs: int = 1) -> str:
+    runner = SweepRunner(jobs)
+    results = run(cycles=cycles, runner=runner)
     lines = ["Section 4.0 future work: wormhole simulation under load", ""]
     for name, data in results.items():
         lines.append(f"{name}:")
@@ -217,4 +264,5 @@ def report(cycles: int = 3000) -> str:
             f"avg lat {db['avg_latency']:.1f}, order violations {db['order_violations']}"
         )
         lines.append("")
+    lines.append(runner.stats.report())
     return "\n".join(lines)

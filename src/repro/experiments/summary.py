@@ -90,8 +90,14 @@ HEADLINE_CHECKS: dict[str, Any] = {
 }
 
 
-def reproduce(experiments: list[str] | None = None) -> dict:
-    """Run every experiment and evaluate its headline checks."""
+def reproduce(experiments: list[str] | None = None, jobs: int = 1) -> dict:
+    """Run every experiment and evaluate its headline checks.
+
+    ``jobs`` is forwarded to every driver whose ``run()`` accepts it, so
+    the expensive sweeps fan out while the checks stay unchanged.
+    """
+    import inspect
+
     from repro import __version__
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -106,7 +112,10 @@ def reproduce(experiments: list[str] | None = None) -> dict:
     }
     for name in names:
         module = ALL_EXPERIMENTS[name]
-        result = module.run()
+        if jobs > 1 and "jobs" in inspect.signature(module.run).parameters:
+            result = module.run(jobs=jobs)
+        else:
+            result = module.run()
         checks = [
             {"check": text, "passed": bool(ok)}
             for text, ok in HEADLINE_CHECKS[name](result)

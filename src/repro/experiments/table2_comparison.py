@@ -17,13 +17,14 @@ from __future__ import annotations
 
 from repro.core.analysis import expected_avg_router_hops_64
 from repro.core.fractahedron import fat_fractahedron
-from repro.core.routing import fractahedral_tables
 from repro.deadlock.cdg import channel_dependency_graph, is_deadlock_free
 from repro.metrics.contention import pattern_contention, worst_case_contention
 from repro.metrics.hops import hop_stats
 from repro.metrics.report import format_table
 from repro.routing.base import all_pairs_routes
-from repro.topology.fattree import fat_tree, fat_tree_tables
+from repro.routing.cache import cached_tables
+from repro.sim.parallel import SweepRunner
+from repro.topology.fattree import fat_tree
 from repro.workloads.adversarial import (
     fracta_diagonal_4_to_1,
     fracta_downlink_worst,
@@ -38,50 +39,64 @@ PAPER = {
 }
 
 
-def run() -> dict:
+def _fat_tree_side(_arg: object = None) -> dict:
     ft = fat_tree(3, down=4, up=2)
-    ft_tables = fat_tree_tables(ft)
+    ft_tables = cached_tables(ft)
     ft_routes = all_pairs_routes(ft, ft_tables)
     ft_stats = hop_stats(ft_routes)
     ft_worst = worst_case_contention(ft, ft_routes)
     ft_pattern, _ = pattern_contention(ft_routes, worst_link_pattern(ft, ft_routes))
+    return {
+        "nodes": ft.num_end_nodes,
+        "routers": ft.num_routers,
+        "avg_hops": ft_stats.mean,
+        "max_hops": ft_stats.maximum,
+        "worst_contention": ft_worst.contention,
+        "paper_pattern_contention": ft_pattern,
+        "deadlock_free": is_deadlock_free(channel_dependency_graph(ft, ft_routes)),
+    }
 
+
+def _fracta_side(_arg: object = None) -> dict:
     fr = fat_fractahedron(2)
-    fr_tables = fractahedral_tables(fr)
+    fr_tables = cached_tables(fr)
     fr_routes = all_pairs_routes(fr, fr_tables)
     fr_stats = hop_stats(fr_routes)
     fr_worst = worst_case_contention(fr, fr_routes)
     fr_diag, fr_diag_link = pattern_contention(fr_routes, fracta_diagonal_4_to_1(fr))
     fr_down, _ = pattern_contention(fr_routes, fracta_downlink_worst(fr))
-
     return {
-        "fat_tree": {
-            "nodes": ft.num_end_nodes,
-            "routers": ft.num_routers,
-            "avg_hops": ft_stats.mean,
-            "max_hops": ft_stats.maximum,
-            "worst_contention": ft_worst.contention,
-            "paper_pattern_contention": ft_pattern,
-            "deadlock_free": is_deadlock_free(channel_dependency_graph(ft, ft_routes)),
-        },
-        "fractahedron": {
-            "nodes": fr.num_end_nodes,
-            "routers": fr.num_routers,
-            "avg_hops": fr_stats.mean,
-            "avg_hops_analytic": expected_avg_router_hops_64(),
-            "max_hops": fr_stats.maximum,
-            "worst_contention": fr_worst.contention,
-            "worst_link": fr_worst.link_id,
-            "diagonal_pattern_contention": fr_diag,
-            "diagonal_link": fr_diag_link,
-            "downlink_pattern_contention": fr_down,
-            "deadlock_free": is_deadlock_free(channel_dependency_graph(fr, fr_routes)),
-        },
+        "nodes": fr.num_end_nodes,
+        "routers": fr.num_routers,
+        "avg_hops": fr_stats.mean,
+        "avg_hops_analytic": expected_avg_router_hops_64(),
+        "max_hops": fr_stats.maximum,
+        "worst_contention": fr_worst.contention,
+        "worst_link": fr_worst.link_id,
+        "diagonal_pattern_contention": fr_diag,
+        "diagonal_link": fr_diag_link,
+        "downlink_pattern_contention": fr_down,
+        "deadlock_free": is_deadlock_free(channel_dependency_graph(fr, fr_routes)),
     }
 
 
-def report() -> str:
-    r = run()
+_SIDES = {"fat_tree": _fat_tree_side, "fractahedron": _fracta_side}
+
+
+def _run_side(name: str) -> dict:
+    return _SIDES[name](None)
+
+
+def run(jobs: int = 1, runner: SweepRunner | None = None) -> dict:
+    """Both 64-node contenders; with ``jobs > 1`` each side is a task."""
+    runner = runner or SweepRunner(jobs)
+    names = list(_SIDES)
+    sides = runner.map(_run_side, names, labels=[f"table2 {n}" for n in names])
+    return dict(zip(names, sides))
+
+
+def report(jobs: int = 1) -> str:
+    r = run(jobs=jobs)
     ft, fr = r["fat_tree"], r["fractahedron"]
     rows = [
         [

@@ -21,6 +21,12 @@ from repro.routing.shortest_path import shortest_path_tables
 from repro.routing.dimension_order import dimension_order_tables
 from repro.routing.ecube import ecube_tables
 from repro.routing.tree_routing import fat_tree_tables, tree_tables
+from repro.routing.cache import (
+    RoutingTableCache,
+    algorithm_for,
+    cached_tables,
+    network_fingerprint,
+)
 from repro.routing.disables import DisableSet, apply_disables, disables_respected
 from repro.routing.turns import TurnSet, break_cycles_with_turns, turn_restricted_tables
 from repro.routing.vc import dateline_vc_select, vc_for_route
@@ -33,8 +39,12 @@ __all__ = [
     "RouteSet",
     "RoutingError",
     "RoutingTable",
+    "RoutingTableCache",
+    "algorithm_for",
     "all_pairs_routes",
     "apply_disables",
+    "cached_tables",
+    "network_fingerprint",
     "break_cycles_with_turns",
     "dateline_vc_select",
     "compute_route",

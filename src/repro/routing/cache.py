@@ -1,0 +1,257 @@
+"""Content-keyed routing-table cache.
+
+Compiling routing tables (BFS floods, partitioned up/down searches,
+fractahedral address walks) is pure: the result depends only on the
+network's structure, the algorithm, its parameters, and any turn-disable
+set.  Every load sweep, saturation search and experiment grid rebuilds the
+same handful of 64-node tables over and over, so this module memoizes the
+compilation behind a content key:
+
+    sha256(canonical network JSON) + algorithm name + params + disables
+
+The canonical JSON comes from :func:`repro.network.serialize.network_to_dict`
+(lossless, attribute-complete), so two structurally identical networks --
+even built by different code paths -- share a cache entry, while any
+mutation (a failed cable, an extra node) produces a fresh key.
+
+Cached tables are returned **by reference**: a hit hands back the very
+:class:`~repro.routing.base.RoutingTable` object built on the miss.
+Callers must treat cached tables as frozen; code that needs to mutate must
+``.copy()`` first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+
+__all__ = [
+    "ALGORITHMS",
+    "CacheStats",
+    "DEFAULT_CACHE",
+    "RoutingTableCache",
+    "algorithm_for",
+    "cached_tables",
+    "network_fingerprint",
+]
+
+
+def network_fingerprint(net: Network) -> str:
+    """Stable content hash of a network's full structure."""
+    # Imported lazily: serialize itself imports repro.routing at load time.
+    from repro.network.serialize import network_to_dict
+
+    doc = network_to_dict(net)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _disables_fingerprint(disables: Any) -> str:
+    """Content hash of a disable set (``None`` when unrestricted).
+
+    Accepts a :class:`~repro.routing.disables.DisableSet` (link ids), a
+    turn-model object exposing ``turns()``, or any plain iterable of link
+    ids / turn tuples.
+    """
+    if disables is None:
+        return "none"
+    if hasattr(disables, "link_ids"):
+        items: list = sorted(disables.link_ids())
+    elif hasattr(disables, "turns"):
+        items = sorted(tuple(t) for t in disables.turns())
+    else:
+        items = sorted(tuple(t) if isinstance(t, (tuple, list)) else t for t in disables)
+    blob = json.dumps(items, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
+    from repro.core.routing import fractahedral_tables
+    from repro.routing.dimension_order import dimension_order_tables
+    from repro.routing.ecube import ecube_tables
+    from repro.routing.shortest_path import shortest_path_tables
+    from repro.routing.tree_routing import tree_tables
+    from repro.topology.butterfly import butterfly_tables
+    from repro.topology.fattree import fat_tree_tables
+
+    return {
+        "butterfly": butterfly_tables,
+        "dimension_order": dimension_order_tables,
+        "ecube": ecube_tables,
+        "fat_tree": fat_tree_tables,
+        "fractahedral": fractahedral_tables,
+        "shortest_path": shortest_path_tables,
+        "tree": tree_tables,
+    }
+
+
+class _AlgorithmRegistry(dict):
+    """Name -> table-builder map, populated lazily to avoid import cycles."""
+
+    def __missing__(self, name: str) -> Callable[..., RoutingTable]:
+        if not hasattr(self, "_loaded"):
+            self.update(_load_algorithms())
+            self._loaded = True
+        if name in self:
+            return self[name]
+        raise KeyError(
+            f"unknown routing algorithm {name!r}; available: {', '.join(sorted(self))}"
+        )
+
+
+ALGORITHMS: dict[str, Callable[..., RoutingTable]] = _AlgorithmRegistry()
+
+
+def algorithm_for(net: Network) -> str:
+    """Name of the matching routing algorithm for a built topology.
+
+    Dispatches on the ``topology`` attribute the builders stamp, exactly as
+    the CLI always has; unknown topologies fall back to shortest-path.
+    """
+    topology = net.attrs.get("topology", "")
+    if topology == "butterfly":
+        return "butterfly"
+    if "fractahedron" in topology:
+        return "fractahedral"
+    if topology == "fat_tree":
+        return "fat_tree"
+    if topology in ("mesh", "torus", "ring"):
+        return "dimension_order"
+    if topology == "hypercube":
+        return "ecube"
+    return "shortest_path"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters plus the compile time the hits skipped."""
+
+    hits: int = 0
+    misses: int = 0
+    build_seconds: float = 0.0
+    seconds_saved: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "build_seconds": round(self.build_seconds, 4),
+            "seconds_saved": round(self.seconds_saved, 4),
+        }
+
+
+class RoutingTableCache:
+    """Memoizes ``builder(net, **params)`` behind a content key.
+
+    Safe to share across threads; each worker process of a parallel sweep
+    owns its own instance (module-global state does not cross the process
+    boundary), so every worker pays each compile at most once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RoutingTable] = {}
+        self._build_cost: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def key(
+        self,
+        net: Network,
+        algorithm: str,
+        params: dict[str, Any] | None = None,
+        disables: Any = None,
+    ) -> str:
+        param_blob = repr(sorted((params or {}).items()))
+        return "|".join(
+            (
+                network_fingerprint(net),
+                algorithm,
+                param_blob,
+                _disables_fingerprint(disables),
+            )
+        )
+
+    def get_or_build(
+        self,
+        net: Network,
+        algorithm: str | None = None,
+        builder: Callable[..., RoutingTable] | None = None,
+        disables: Any = None,
+        **params: Any,
+    ) -> RoutingTable:
+        """Return the cached tables for ``net``, compiling on first use.
+
+        ``algorithm`` defaults to :func:`algorithm_for`; ``builder``
+        overrides the registry (the algorithm name is still part of the
+        key, so name your custom builders distinctly).
+        """
+        algorithm = algorithm or algorithm_for(net)
+        k = self.key(net, algorithm, params, disables)
+        with self._lock:
+            cached = self._entries.get(k)
+            if cached is not None:
+                self.stats.hits += 1
+                self.stats.seconds_saved += self._build_cost.get(k, 0.0)
+                return cached
+        build = builder or ALGORITHMS[algorithm]
+        start = time.perf_counter()
+        tables = build(net, **params)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            # Another thread may have raced us; keep the first entry so the
+            # "same object on every hit" guarantee holds.
+            winner = self._entries.setdefault(k, tables)
+            if winner is tables:
+                self.stats.misses += 1
+                self.stats.build_seconds += elapsed
+                self._build_cost[k] = elapsed
+            else:
+                self.stats.hits += 1
+                self.stats.seconds_saved += self._build_cost.get(k, 0.0)
+            return winner
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._build_cost.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RoutingTableCache {len(self._entries)} entries, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses>"
+        )
+
+
+#: Process-wide cache used by :func:`cached_tables`, the CLI and the
+#: parallel sweep runner.  Forked sweep workers inherit a copy and then
+#: populate their own.
+DEFAULT_CACHE = RoutingTableCache()
+
+
+def cached_tables(
+    net: Network,
+    algorithm: str | None = None,
+    disables: Any = None,
+    cache: RoutingTableCache | None = None,
+    **params: Any,
+) -> RoutingTable:
+    """Compile (or fetch) the routing tables matching ``net``.
+
+    The one-stop replacement for the ``<topology>_tables(net)`` calls the
+    experiment drivers used to repeat: identical inputs return the
+    identical table object without re-running BFS/compilation.
+    """
+    return (cache or DEFAULT_CACHE).get_or_build(
+        net, algorithm=algorithm, disables=disables, **params
+    )

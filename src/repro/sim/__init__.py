@@ -28,7 +28,14 @@ from repro.sim.traffic import (
     uniform_traffic,
 )
 from repro.sim.fault import LinkFault
-from repro.sim.sweep import LoadPoint, find_saturation, latency_curve
+from repro.sim.sweep import LoadPoint, find_saturation, latency_curve, measure_point
+from repro.sim.parallel import (
+    NetworkSpec,
+    SweepRunner,
+    SweepStats,
+    TaskTiming,
+    derive_seed,
+)
 
 __all__ = [
     "DeadlockDetected",
@@ -36,6 +43,12 @@ __all__ = [
     "FlitKind",
     "LinkFault",
     "LoadPoint",
+    "NetworkSpec",
+    "SweepRunner",
+    "SweepStats",
+    "TaskTiming",
+    "derive_seed",
+    "measure_point",
     "Packet",
     "SimConfig",
     "SimStats",

@@ -1,0 +1,375 @@
+"""Parallel sweep execution with deterministic per-task seeding.
+
+Every saturation search, latency curve and experiment grid decomposes into
+independent simulation tasks (one per offered rate, per topology, per
+failure count...).  :class:`SweepRunner` fans those tasks over a
+:class:`concurrent.futures.ProcessPoolExecutor` and guarantees the results
+are **bit-identical to a serial run**:
+
+* each task carries its own RNG seed, derived with :func:`derive_seed`
+  from the base seed and the task's identity (never from its submission
+  order or worker assignment);
+* tasks share nothing at runtime -- networks and routing tables either
+  travel by value or are rebuilt in the worker through the content-keyed
+  :class:`~repro.routing.cache.RoutingTableCache`;
+* results are returned in submission order regardless of completion order.
+
+``jobs=1`` runs the exact same task functions in-process, so "serial" is
+literally the degenerate case of "parallel" and the determinism tests in
+``tests/sim/test_parallel_determinism.py`` hold by construction *and* by
+measurement.
+
+Each task also reports its own wall-clock time; :class:`SweepStats`
+aggregates them so the speedup of a parallel run is observable
+(``fractanet run all --jobs 4`` prints the summary).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+from repro.routing.cache import cached_tables
+
+__all__ = [
+    "NetworkSpec",
+    "SweepRunner",
+    "SweepStats",
+    "TaskTiming",
+    "derive_seed",
+]
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """Derive a 63-bit task seed from a base seed and the task's identity.
+
+    The derivation is a sha256 over the base seed and the ``repr`` of each
+    identity part, so it is stable across processes, Python versions and
+    submission orders -- the cornerstone of serial/parallel bit-equality.
+    Distinct identities give independent streams, which also decorrelates
+    the points of a sweep (a shared seed would give every offered rate the
+    same Bernoulli coin flips).
+    """
+    h = hashlib.sha256()
+    h.update(repr(int(base_seed)).encode())
+    for part in parts:
+        h.update(b"\x1f")
+        h.update(repr(part).encode())
+    return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A picklable recipe for (network, routing tables).
+
+    Workers rebuild from the spec through the topology registry and the
+    routing-table cache instead of unpickling a full network, so a grid of
+    tasks over the same topology compiles its tables once per worker.
+    """
+
+    topology: str
+    params: tuple[tuple[str, Any], ...] = ()
+    algorithm: str | None = None
+
+    @classmethod
+    def make(
+        cls, topology: str, algorithm: str | None = None, **params: Any
+    ) -> "NetworkSpec":
+        return cls(topology, tuple(sorted(params.items())), algorithm)
+
+    def build(self) -> tuple[Network, RoutingTable]:
+        from repro.topology.registry import build_topology
+
+        net = build_topology(self.topology, **dict(self.params))
+        return net, cached_tables(net, algorithm=self.algorithm)
+
+
+#: Per-process memo of built specs (populated inside workers).
+_SPEC_MEMO: dict[NetworkSpec, tuple[Network, RoutingTable]] = {}
+
+
+def resolve_target(
+    target: "NetworkSpec | tuple[Network, RoutingTable]",
+) -> tuple[Network, RoutingTable]:
+    """Materialize a sweep target: a spec (rebuilt once per process) or a
+    literal ``(network, tables)`` pair (shipped by value)."""
+    if isinstance(target, NetworkSpec):
+        got = _SPEC_MEMO.get(target)
+        if got is None:
+            got = _SPEC_MEMO[target] = target.build()
+        return got
+    net, tables = target
+    return net, tables
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall-clock accounting for one task."""
+
+    label: str
+    seconds: float
+    pid: int
+
+
+@dataclass
+class SweepStats:
+    """Aggregated per-task timings of everything a runner executed.
+
+    ``task_seconds`` is the serial-equivalent cost (sum of per-task times);
+    ``wall_seconds`` is what actually elapsed; their ratio is the observed
+    speedup.
+    """
+
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    timings: list[TaskTiming] = field(default_factory=list)
+
+    @property
+    def task_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    @property
+    def speedup(self) -> float:
+        return self.task_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def workers_used(self) -> int:
+        return len({t.pid for t in self.timings})
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "tasks": len(self.timings),
+            "workers_used": self.workers_used,
+            "task_seconds": round(self.task_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "speedup": round(self.speedup, 2),
+        }
+
+    def report(self, per_task: bool = False) -> str:
+        lines = []
+        if per_task:
+            for t in sorted(self.timings, key=lambda t: -t.seconds):
+                lines.append(f"  {t.seconds:8.3f}s  pid {t.pid}  {t.label}")
+        lines.append(
+            f"runner: {len(self.timings)} tasks on {self.workers_used} worker(s) "
+            f"(jobs={self.jobs}); {self.task_seconds:.2f}s task time in "
+            f"{self.wall_seconds:.2f}s wall -> speedup {self.speedup:.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def _timed_call(job: tuple[Callable[[Any], Any], Any, str]) -> tuple[Any, TaskTiming]:
+    """Run one task and clock it inside the worker that executed it."""
+    fn, item, label = job
+    start = time.perf_counter()
+    result = fn(item)
+    return result, TaskTiming(label, time.perf_counter() - start, os.getpid())
+
+
+@dataclass(frozen=True)
+class _MeasureTask:
+    """One point of a latency curve, fully self-describing and picklable."""
+
+    target: Any
+    rate: float
+    cycles: int
+    packet_size: int
+    seed: int
+    saturation_factor: float
+    switching: str
+    zero_load: float
+
+
+def _run_measure(task: _MeasureTask):
+    from repro.sim.sweep import measure_point
+
+    net, tables = resolve_target(task.target)
+    return measure_point(
+        net,
+        tables,
+        task.rate,
+        task.cycles,
+        task.packet_size,
+        task.seed,
+        task.zero_load,
+        task.saturation_factor,
+        task.switching,
+    )
+
+
+def _run_saturation(job: tuple[Any, dict[str, Any]]) -> float:
+    from repro.sim.sweep import find_saturation
+
+    target, kwargs = job
+    net, tables = resolve_target(target)
+    return find_saturation(net, tables, **kwargs)
+
+
+def _run_experiment(name: str) -> Any:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    return ALL_EXPERIMENTS[name].run()
+
+
+def _run_experiment_report(name: str) -> str:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    return ALL_EXPERIMENTS[name].report()
+
+
+class SweepRunner:
+    """Fans independent simulation tasks over a process pool.
+
+    ``jobs=1`` executes in-process (no pool, no pickling) but through the
+    identical task functions and seed derivation, so its results are the
+    reference the parallel path is tested against.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        # Assigned before validation: __del__ -> close() runs even when
+        # the constructor raises on a bad jobs value.
+        self._pool: ProcessPoolExecutor | None = None
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.stats = SweepStats(jobs=jobs)
+
+    def _executor(self) -> ProcessPoolExecutor:
+        # One pool for the runner's lifetime: workers stay warm, so
+        # per-process memos (built specs, the routing-table cache) carry
+        # over between map() calls instead of being re-derived per call.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+    # ------------------------------------------------------------------
+    # generic fan-out
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        labels: Sequence[str] | None = None,
+    ) -> list[Any]:
+        """Apply a module-level callable to every item, in order.
+
+        Results come back in submission order; per-task timings accumulate
+        on :attr:`stats`.  ``fn`` and each item must be picklable when
+        ``jobs > 1``.
+        """
+        items = list(items)
+        if labels is None:
+            name = getattr(fn, "__name__", str(fn))
+            labels = [f"{name}[{i}]" for i in range(len(items))]
+        jobs_ = list(zip([fn] * len(items), items, labels))
+        start = time.perf_counter()
+        if self.jobs == 1 or len(items) <= 1:
+            pairs = [_timed_call(j) for j in jobs_]
+        else:
+            pairs = list(self._executor().map(_timed_call, jobs_))
+        self.stats.wall_seconds += time.perf_counter() - start
+        self.stats.timings.extend(t for _, t in pairs)
+        return [r for r, _ in pairs]
+
+    # ------------------------------------------------------------------
+    # sweep primitives
+    # ------------------------------------------------------------------
+    def latency_curve(
+        self,
+        target: "NetworkSpec | tuple[Network, RoutingTable]",
+        rates: Sequence[float],
+        cycles: int = 2000,
+        packet_size: int = 8,
+        seed: int = 1996,
+        saturation_factor: float = 3.0,
+        switching: str = "wormhole",
+        label: str = "",
+    ) -> list:
+        """Measure every offered rate concurrently; order follows ``rates``.
+
+        Each rate's task seed is ``derive_seed(seed, "rate", repr(rate),
+        "switching", switching)`` -- a function of the point's identity
+        only, so any subset of the same grid reproduces the same points.
+        """
+        from repro.sim.sweep import _zero_load_latency
+
+        net, tables = resolve_target(target)
+        zero = _zero_load_latency(net, tables, packet_size)
+        name = label or net.name
+        tasks = [
+            _MeasureTask(
+                target=target if isinstance(target, NetworkSpec) else (net, tables),
+                rate=float(rate),
+                cycles=cycles,
+                packet_size=packet_size,
+                seed=derive_seed(seed, "rate", repr(float(rate)), "switching", switching),
+                saturation_factor=saturation_factor,
+                switching=switching,
+                zero_load=zero,
+            )
+            for rate in rates
+        ]
+        return self.map(
+            _run_measure,
+            tasks,
+            labels=[f"{name} {switching} rate={r:g}" for r in rates],
+        )
+
+    def find_saturation_grid(
+        self,
+        targets: dict[str, "NetworkSpec | tuple[Network, RoutingTable]"],
+        **kwargs: Any,
+    ) -> dict[str, float]:
+        """Run one saturation search per topology, searches in parallel.
+
+        A single binary search is inherently sequential (each probe depends
+        on the last), so the unit of parallelism is the topology.
+        """
+        names = list(targets)
+        values = self.map(
+            _run_saturation,
+            [(targets[n], dict(kwargs)) for n in names],
+            labels=[f"find_saturation {n}" for n in names],
+        )
+        return dict(zip(names, values))
+
+    # ------------------------------------------------------------------
+    # experiment grids
+    # ------------------------------------------------------------------
+    def run_experiments(self, names: Sequence[str]) -> dict[str, Any]:
+        """Fan whole experiment drivers (their ``run()``) over the pool."""
+        results = self.map(
+            _run_experiment, list(names), labels=[f"experiment {n}" for n in names]
+        )
+        return dict(zip(names, results))
+
+    def run_experiment_reports(self, names: Sequence[str]) -> dict[str, str]:
+        """Like :meth:`run_experiments` but collecting ``report()`` text."""
+        results = self.map(
+            _run_experiment_report,
+            list(names),
+            labels=[f"report {n}" for n in names],
+        )
+        return dict(zip(names, results))

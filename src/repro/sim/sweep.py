@@ -5,6 +5,11 @@ imbalances" (§3.0) is its saturation point: the offered load where
 latency departs from the zero-load regime.  :func:`find_saturation`
 binary-searches it; :func:`latency_curve` produces the classic
 latency-vs-offered-load series the §4.0 benchmark prints.
+
+Both go through :class:`repro.sim.parallel.SweepRunner`: every measured
+point is an independent task with a seed derived from its identity
+(:func:`repro.sim.parallel.derive_seed`), so ``jobs=4`` returns results
+bit-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from repro.sim.engine import SimConfig
 from repro.sim.network_sim import WormholeSim
 from repro.sim.traffic import uniform_traffic
 
-__all__ = ["LoadPoint", "find_saturation", "latency_curve"]
+__all__ = ["LoadPoint", "find_saturation", "latency_curve", "measure_point"]
 
 
 @dataclass(frozen=True)
@@ -33,7 +38,7 @@ class LoadPoint:
     saturated: bool
 
 
-def _measure(
+def measure_point(
     net: Network,
     tables: RoutingTable,
     rate: float,
@@ -42,13 +47,24 @@ def _measure(
     seed: int,
     zero_load: float,
     factor: float,
+    switching: str = "wormhole",
 ) -> LoadPoint:
+    """Simulate one offered rate and classify it against the zero-load bar.
+
+    Pure in all arguments (the traffic RNG is seeded here), which is what
+    lets the parallel runner execute points in any process, in any order.
+    """
     traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
     sim = WormholeSim(
         net,
         tables,
         traffic,
-        SimConfig(buffer_depth=4, raise_on_deadlock=False, stall_threshold=400),
+        SimConfig(
+            buffer_depth=max(4, packet_size if switching == "store_and_forward" else 4),
+            raise_on_deadlock=False,
+            stall_threshold=400,
+            switching=switching,
+        ),
     )
     stats = sim.run(cycles, drain=False)
     warmup = cycles // 5
@@ -84,13 +100,26 @@ def latency_curve(
     packet_size: int = 8,
     seed: int = 1996,
     saturation_factor: float = 3.0,
+    switching: str = "wormhole",
+    jobs: int = 1,
 ) -> list[LoadPoint]:
-    """Measure steady-state latency at each offered rate."""
-    zero = _zero_load_latency(net, tables, packet_size)
-    return [
-        _measure(net, tables, r, cycles, packet_size, seed, zero, saturation_factor)
-        for r in rates
-    ]
+    """Measure steady-state latency at each offered rate.
+
+    ``jobs > 1`` fans the rates over a process pool; the series is
+    bit-identical to the serial one because each point's seed depends only
+    on the point (see :mod:`repro.sim.parallel`).
+    """
+    from repro.sim.parallel import SweepRunner
+
+    return SweepRunner(jobs).latency_curve(
+        (net, tables),
+        rates,
+        cycles=cycles,
+        packet_size=packet_size,
+        seed=seed,
+        saturation_factor=saturation_factor,
+        switching=switching,
+    )
 
 
 def find_saturation(
@@ -102,18 +131,33 @@ def find_saturation(
     saturation_factor: float = 3.0,
     resolution: float = 0.002,
     max_rate: float = 0.5,
+    switching: str = "wormhole",
 ) -> float:
     """Binary-search the offered rate where latency exceeds
     ``saturation_factor`` x the zero-load average.
 
-    Returns the highest tested rate that is still *unsaturated* (to within
-    ``resolution``).  Deterministic for fixed arguments.
+    Returns the highest *tested* rate that is still unsaturated (to within
+    ``resolution``).  Deterministic for fixed arguments.  When every probed
+    rate saturates, one final probe below the bracket decides between a
+    tiny-but-real saturation rate and the ``0.0`` sentinel -- the bisection
+    itself never tests ``low = 0.0``, so returning it unprobed would claim
+    an unsaturated rate that was never measured.
     """
+    from repro.sim.parallel import derive_seed
+
     zero = _zero_load_latency(net, tables, packet_size)
 
     def saturated(rate: float) -> bool:
-        return _measure(
-            net, tables, rate, cycles, packet_size, seed, zero, saturation_factor
+        return measure_point(
+            net,
+            tables,
+            rate,
+            cycles,
+            packet_size,
+            derive_seed(seed, "rate", repr(float(rate)), "switching", switching),
+            zero,
+            saturation_factor,
+            switching,
         ).saturated
 
     low, high = 0.0, max_rate
@@ -125,4 +169,12 @@ def find_saturation(
             high = mid
         else:
             low = mid
+    if low == 0.0:
+        # Every probed rate saturated.  Probe once below the final bracket
+        # before conceding: if that rate is unsaturated it is the answer;
+        # only a confirmed saturation justifies the 0.0 sentinel.
+        probe = high / 2
+        if probe > 0.0 and not saturated(probe):
+            return probe
+        return 0.0
     return low

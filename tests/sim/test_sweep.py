@@ -2,8 +2,9 @@
 
 import pytest
 
+import repro.sim.sweep as sweep_mod
 from repro.routing.dimension_order import dimension_order_tables
-from repro.sim.sweep import find_saturation, latency_curve
+from repro.sim.sweep import LoadPoint, find_saturation, latency_curve
 from repro.topology.mesh import mesh
 
 
@@ -47,6 +48,53 @@ def test_unsaturable_at_max_rate_returns_max():
         net, tables, cycles=600, packet_size=1, max_rate=0.05, resolution=0.01
     )
     assert sat == 0.05
+
+
+def _fake_measure(threshold):
+    """A measure_point whose saturation is a step function of the rate."""
+
+    def fake(net, tables, rate, cycles, packet_size, seed, zero_load, factor,
+             switching="wormhole"):
+        return LoadPoint(
+            offered_rate=rate,
+            accepted_flits_per_node_cycle=rate,
+            avg_latency=1.0,
+            p99_latency=1.0,
+            saturated=rate > threshold,
+        )
+
+    return fake
+
+
+class TestLowBracketGuard:
+    """When even the smallest bisected rate saturates, ``low`` stays at the
+    never-probed 0.0 -- the guard must not report that as an unsaturated
+    rate without measuring below the bracket first."""
+
+    @pytest.fixture
+    def small(self):
+        net = mesh((2, 2), nodes_per_router=1)
+        return net, dimension_order_tables(net)
+
+    def test_always_saturated_returns_zero(self, small, monkeypatch):
+        net, tables = small
+        monkeypatch.setattr(sweep_mod, "measure_point", _fake_measure(-1.0))
+        assert find_saturation(net, tables, cycles=100, resolution=0.002) == 0.0
+
+    def test_tiny_saturation_rate_found_by_probe(self, small, monkeypatch):
+        # threshold below the resolution: bisection drives high down to
+        # ~resolution with low still 0.0; the guard's probe at high/2 is
+        # unsaturated and must be returned instead of 0.0
+        net, tables = small
+        monkeypatch.setattr(sweep_mod, "measure_point", _fake_measure(0.0015))
+        sat = find_saturation(net, tables, cycles=100, resolution=0.002)
+        assert 0.0 < sat <= 0.0015
+
+    def test_normal_bracket_unaffected(self, small, monkeypatch):
+        net, tables = small
+        monkeypatch.setattr(sweep_mod, "measure_point", _fake_measure(0.1))
+        sat = find_saturation(net, tables, cycles=100, resolution=0.002)
+        assert 0.098 <= sat <= 0.1
 
 
 @pytest.mark.slow
