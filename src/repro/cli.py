@@ -19,17 +19,51 @@ from typing import Any
 __all__ = ["main"]
 
 
-def _parse_params(pairs: list[str]) -> dict[str, Any]:
-    params: dict[str, Any] = {}
+def _parse_params(pairs: list[str]) -> dict[str, str]:
+    params: dict[str, str] = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"bad --param {pair!r}; expected key=value")
         key, value = pair.split("=", 1)
-        try:
-            params[key] = eval(value, {"__builtins__": {}})  # noqa: S307 - literals
-        except Exception:
-            params[key] = value
+        params[key] = value
     return params
+
+
+def _build(topology: str, param_pairs: list[str]):
+    """Build a topology from CLI ``--param`` pairs, validated and typed
+    against the builder's registered parameter specs."""
+    from repro.topology.registry import build_topology, coerce_params
+
+    try:
+        params = coerce_params(topology, _parse_params(param_pairs))
+        return build_topology(topology, **params)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _recovery_policies(args):
+    """Translate the recovery flags into (retry, reroute) policy objects.
+
+    ``--faults`` alone takes links down with no recovery (the blocked-worm
+    behaviour the paper warns about); ``--retry`` / ``--reroute`` switch
+    the respective subsystems on.
+    """
+    from repro.sim.engine import RetryPolicy, ReroutePolicy
+
+    retry = None
+    if args.retry:
+        retry = RetryPolicy(
+            timeout=args.retry_timeout,
+            backoff=args.retry_backoff,
+            max_retries=args.max_retries,
+        )
+    reroute = None
+    if args.reroute:
+        reroute = ReroutePolicy(
+            detection_delay=args.detection_delay,
+            reconvergence_delay=args.reconvergence_delay,
+        )
+    return retry, reroute
 
 
 def _routing_for(net):
@@ -39,29 +73,23 @@ def _routing_for(net):
     return cached_tables(net)
 
 
-def _supports_kw(fn, name: str) -> bool:
-    import inspect
-
-    try:
-        return name in inspect.signature(fn).parameters
-    except (TypeError, ValueError):  # pragma: no cover - builtins
-        return False
-
-
 def cmd_experiments(_args) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.registry import experiment_names, get_experiment
 
-    for name, module in ALL_EXPERIMENTS.items():
-        doc = (module.__doc__ or "").strip().splitlines()[0]
-        print(f"{name:12s} {doc}")
+    for name in experiment_names():
+        print(f"{name:12s} {get_experiment(name).description}")
     return 0
 
 
 def cmd_run(args) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.registry import (
+        ExperimentConfig,
+        experiment_names,
+        get_experiment,
+    )
 
-    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    names = experiment_names() if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in experiment_names()]
     if unknown:
         print(f"unknown experiment {unknown[0]!r}; try 'fractanet experiments'")
         return 1
@@ -77,12 +105,9 @@ def cmd_run(args) -> int:
             print()
         print(runner.stats.report())
         return 0
+    config = ExperimentConfig(jobs=jobs)
     for name in names:
-        module = ALL_EXPERIMENTS[name]
-        if jobs > 1 and _supports_kw(module.report, "jobs"):
-            print(module.report(jobs=jobs))
-        else:
-            print(module.report())
+        print(get_experiment(name).report(config))
         print()
     return 0
 
@@ -91,11 +116,37 @@ def cmd_sweep(args) -> int:
     """Latency curve / saturation search through the parallel runner."""
     from repro.sim.parallel import SweepRunner
     from repro.sim.sweep import find_saturation
-    from repro.topology.registry import build_topology
 
-    net = build_topology(args.topology, **_parse_params(args.param))
+    net = _build(args.topology, args.param)
     tables = _routing_for(net)
     runner = SweepRunner(args.jobs)
+    if args.faults:
+        # recovery sweep: one fail/repair episode per failure count
+        retry, reroute = _recovery_policies(args)
+        counts = tuple(int(k) for k in args.faults.split(","))
+        points = runner.recovery_curve(
+            (net, tables),
+            counts,
+            rate=args.rate,
+            cycles=args.cycles,
+            packet_size=args.packet_size,
+            seed=args.seed,
+            repair_cycle=args.repair_cycle,
+            retry=retry,
+            reroute=reroute,
+            failover=args.failover,
+        )
+        print(f"{net.name} recovery sweep @ rate {args.rate}:")
+        print("  faults  delivered  retried  failover  dropped  swaps  post-recovery")
+        for p in points:
+            print(
+                f"  {p['failures']:6d}  {p['delivered']:5d}/{p['offered']:<5d} "
+                f"{p['retried']:6d} {p['failed_over']:9d} {p['dropped']:8d} "
+                f"{p['reroutes']:6d} {p['post_recovery_rate'] * 100:11.2f}%"
+                + ("" if p["recovered_acyclic"] else "  [UNCERTIFIED]")
+            )
+        print(runner.stats.report(per_task=args.verbose))
+        return 0
     rates = tuple(float(r) for r in args.rates.split(","))
     points = runner.latency_curve(
         (net, tables),
@@ -125,9 +176,15 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_topologies(_args) -> int:
-    from repro.topology.registry import available_topologies
+def cmd_topologies(args) -> int:
+    from repro.topology.registry import available_topologies, describe_topology
 
+    if getattr(args, "describe", None):
+        try:
+            print(describe_topology(args.describe))
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        return 0
     for name in available_topologies():
         print(name)
     return 0
@@ -136,9 +193,8 @@ def cmd_topologies(_args) -> int:
 def cmd_build(args) -> int:
     from repro.metrics.cost import cost_summary
     from repro.network.validate import validate_network
-    from repro.topology.registry import build_topology
 
-    net = build_topology(args.topology, **_parse_params(args.param))
+    net = _build(args.topology, args.param)
     cost = cost_summary(net)
     issues = validate_network(net)
     print(f"{net.name}: {cost.routers} routers, {cost.end_nodes} end nodes, "
@@ -186,19 +242,17 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_show(args) -> int:
-    from repro.topology.registry import build_topology
     from repro.viz import render
 
-    net = build_topology(args.topology, **_parse_params(args.param))
+    net = _build(args.topology, args.param)
     print(render(net))
     return 0
 
 
 def cmd_certify(args) -> int:
     from repro.deadlock.analysis import certify_deadlock_free
-    from repro.topology.registry import build_topology
 
-    net = build_topology(args.topology, **_parse_params(args.param))
+    net = _build(args.topology, args.param)
     tables = _routing_for(net)
     result = certify_deadlock_free(net, tables)
     print(
@@ -214,11 +268,47 @@ def cmd_certify(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    from repro.experiments.future_simulation import simulate_load_point
-    from repro.topology.registry import build_topology
-
-    net = build_topology(args.topology, **_parse_params(args.param))
+    net = _build(args.topology, args.param)
     tables = _routing_for(net)
+    retry, reroute = _recovery_policies(args)
+    if args.faults or retry or reroute or args.failover:
+        from repro.sim.recovery import simulate_with_recovery
+
+        r = simulate_with_recovery(
+            net,
+            tables,
+            rate=args.rate,
+            cycles=args.cycles,
+            packet_size=args.packet_size,
+            seed=args.seed,
+            faults=args.faults,
+            repair_cycle=args.repair_cycle,
+            retry=retry,
+            reroute=reroute,
+            failover=args.failover,
+        )
+        print(
+            f"{net.name} @ rate {args.rate} with {args.faults} cable fault(s): "
+            f"delivered {r['delivered']}/{r['offered']} "
+            f"(avg latency {r['avg_latency']:.1f})"
+            + (" DEADLOCK" if r["deadlocked"] else "")
+        )
+        print(
+            f"  recovery: retried={r['retried']} dropped={r['dropped']} "
+            f"failed_over={r['failed_over']} reroutes={r['reroutes']}"
+        )
+        if r["reroutes"]:
+            print(
+                f"  reconvergence: {r['reconvergence_avg']:.1f} cycles avg "
+                f"{r['reconvergence_cycles']}; recomputed tables certified: "
+                f"{r['recovered_acyclic']}"
+            )
+        if r["failed_over"]:
+            print(f"  failover latency avg: {r['failover_latency_avg']:.1f} cycles")
+        print(f"  post-recovery delivery: {r['post_recovery_rate'] * 100:.2f}%")
+        return 0 if not r["deadlocked"] else 1
+    from repro.experiments.future_simulation import simulate_load_point
+
     point = simulate_load_point(
         net, tables, rate=args.rate, cycles=args.cycles, packet_size=args.packet_size
     )
@@ -229,6 +319,34 @@ def cmd_simulate(args) -> int:
         + (" DEADLOCK" if point["deadlocked"] else "")
     )
     return 0
+
+
+def _add_recovery_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group(
+        "fault recovery",
+        "timeout/retry, online re-routing and dual-fabric failover "
+        "(see repro.sim.recovery)",
+    )
+    g.add_argument("--retry", action="store_true",
+                   help="enable NIC send-side timeout/retry")
+    g.add_argument("--retry-timeout", type=int, default=64, metavar="CYC",
+                   help="cycles before the first timeout (default 64)")
+    g.add_argument("--retry-backoff", type=float, default=2.0, metavar="X",
+                   help="timeout multiplier per retry (default 2.0)")
+    g.add_argument("--max-retries", type=int, default=3, metavar="N",
+                   help="retransmission budget per packet (default 3)")
+    g.add_argument("--reroute", action="store_true",
+                   help="recompute + swap CDG-certified tables around failures")
+    g.add_argument("--detection-delay", type=int, default=32, metavar="CYC",
+                   help="cycles from fault to detection (default 32)")
+    g.add_argument("--reconvergence-delay", type=int, default=64, metavar="CYC",
+                   help="cycles from detection to table swap (default 64)")
+    g.add_argument("--failover", action="store_true",
+                   help="retarget retry-exhausted packets to a second fabric")
+    g.add_argument("--repair-cycle", type=int, default=None, metavar="CYC",
+                   help="repair the failed cables at this cycle")
+    g.add_argument("--seed", type=int, default=1996,
+                   help="traffic / fault-selection base seed")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -264,11 +382,18 @@ def main(argv: list[str] | None = None) -> int:
     sweep_p.add_argument("--jobs", type=int, default=1, metavar="N")
     sweep_p.add_argument("--verbose", action="store_true",
                          help="print per-task timings")
+    sweep_p.add_argument("--faults", default="", metavar="K1,K2,...",
+                         help="recovery sweep over these failure counts "
+                              "instead of a latency curve")
+    sweep_p.add_argument("--rate", type=float, default=0.05,
+                         help="offered rate for the recovery sweep")
+    _add_recovery_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
-    sub.add_parser("topologies", help="list topology builders").set_defaults(
-        func=cmd_topologies
-    )
+    topo_p = sub.add_parser("topologies", help="list topology builders")
+    topo_p.add_argument("--describe", metavar="NAME", default=None,
+                        help="print a builder's documented, typed parameters")
+    topo_p.set_defaults(func=cmd_topologies)
 
     for name, fn, extra in (
         ("build", cmd_build, False),
@@ -286,6 +411,9 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--rate", type=float, default=0.01)
             p.add_argument("--cycles", type=int, default=3000)
             p.add_argument("--packet-size", type=int, default=8)
+            p.add_argument("--faults", type=int, default=0, metavar="K",
+                           help="fail K random cables a quarter into the run")
+            _add_recovery_flags(p)
         p.set_defaults(func=fn)
 
     inspect_p = sub.add_parser("inspect", help="load and certify a saved fabric")

@@ -121,14 +121,14 @@ def fractahedron(params: FractaParams) -> Network:
 
 
 def fat_fractahedron(
-    levels: int,
+    levels: int = 2,
     fanout_width: int | None = None,
     router_radix: int = ROUTER_RADIX,
 ) -> Network:
     """Build a fat fractahedron (§2.3).
 
-    ``fat_fractahedron(2)`` is the 64-node, 48-router network of Figure 7
-    and Table 2; ``fat_fractahedron(3, fanout_width=2)`` is the paper's
+    ``fat_fractahedron(2)`` (the default) is the 64-node, 48-router
+    network of Figure 7 and Table 2; ``fat_fractahedron(3, fanout_width=2)`` is the paper's
     1024-CPU system with ten worst-case router delays.
     """
     return fractahedron(FractaParams(levels, fat=True, fanout_width=fanout_width,
@@ -136,7 +136,7 @@ def fat_fractahedron(
 
 
 def thin_fractahedron(
-    levels: int,
+    levels: int = 2,
     fanout_width: int | None = None,
     router_radix: int = ROUTER_RADIX,
 ) -> Network:

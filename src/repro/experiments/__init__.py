@@ -1,10 +1,18 @@
 """Experiment drivers: one module per paper table/figure.
 
-Each module exposes ``run()`` returning a plain dict of results and
-``report()`` returning printable text in the shape of the paper's tables.
-Benchmarks call ``run()`` (asserting the paper's numbers); the CLI and
-examples call ``report()``.
+Each driver satisfies the :class:`repro.experiments.registry.Experiment`
+protocol through the registry (``run(config) -> ExperimentResult`` plus a
+printable ``report()``); the CLI, the parallel runner and the
+reproduction artifact all dispatch through
+:func:`repro.experiments.registry.get_experiment`.
+
+The historical entry point -- ``ALL_EXPERIMENTS[name].run()`` returning a
+plain dict -- keeps working through a deprecated shim over the registry;
+new code should use the registry directly.
 """
+
+import warnings
+from typing import Iterator, Mapping
 
 from repro.experiments import (  # noqa: F401 - re-exported module namespace
     ablations,
@@ -14,6 +22,7 @@ from repro.experiments import (  # noqa: F401 - re-exported module namespace
     fig2_hypercube,
     fig3_assemblies,
     future_simulation,
+    registry,
     sec24_deadlock,
     sec31_mesh,
     sec32_hypercube,
@@ -21,21 +30,54 @@ from repro.experiments import (  # noqa: F401 - re-exported module namespace
     table1_fractahedron,
     table2_comparison,
 )
+from repro.experiments.registry import (  # noqa: F401 - public API
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
 
-ALL_EXPERIMENTS = {
-    "fig1": fig1_deadlock,
-    "fig2": fig2_hypercube,
-    "fig3": fig3_assemblies,
-    "table1": table1_fractahedron,
-    "sec31": sec31_mesh,
-    "sec32": sec32_hypercube,
-    "sec33": sec33_fattree,
-    "table2": table2_comparison,
-    "sec24": sec24_deadlock,
-    "adaptive": adaptive_order,
-    "faults": fault_study,
-    "futurework": future_simulation,
-    "ablations": ablations,
-}
 
-__all__ = ["ALL_EXPERIMENTS"]
+class _DeprecatedExperimentMap(Mapping):
+    """``ALL_EXPERIMENTS``-shaped view over the registry (deprecated).
+
+    Lookups return the legacy driver *module* (so ``.run()``/``.report()``
+    keep their historical plain-dict/str signatures) and emit a
+    ``DeprecationWarning`` pointing at the registry.
+    """
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "ALL_EXPERIMENTS is deprecated; use "
+            "repro.experiments.registry.get_experiment(name) "
+            "(run(config) returns a typed ExperimentResult)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, name: str):
+        self._warn()
+        experiment = registry.get_experiment(name)
+        return getattr(experiment, "module", experiment)
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(registry.experiment_names())
+
+    def __len__(self) -> int:
+        return len(registry.experiment_names())
+
+
+ALL_EXPERIMENTS = _DeprecatedExperimentMap()
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+]

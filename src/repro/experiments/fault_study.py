@@ -1,8 +1,10 @@
-"""§1.0: dual-fabric fault tolerance, quantified.
+"""§1.0: dual-fabric fault tolerance, quantified -- statics and dynamics.
 
 "Full network fault-tolerance can be provided by configuring pairs of
 router fabrics with dual-ported nodes."  This experiment measures what
-that buys on the 64-node fat fractahedron:
+that buys, in two parts:
+
+**Availability (static)**, on the 64-node fat fractahedron:
 
 * **single fabric**: availability (fraction of ordered pairs still
   deliverable over their fixed routes) as random cables fail;
@@ -13,6 +15,16 @@ that buys on the 64-node fat fractahedron:
   the whole duplex path for a reflexive route (the acknowledgements
   cannot return), so reflexive routing makes cable-level failure the
   right fault model.
+
+**Recovery (dynamic)**, on both Table 2 topologies (the 4-2 fat tree and
+the fat fractahedron): live traffic runs through one fail/repair episode
+with the full recovery stack on -- NIC timeout/retry with exponential
+backoff, online re-routing (CDG-certified tables recomputed around the
+failed links and atomically swapped in), and second-fabric failover for
+packets whose retry budget expires.  Each row reports delivered /
+retried / dropped / failed-over counts, the number of table swaps, the
+time to reconvergence, the failover latency, and the post-recovery
+delivery rate (service after the last table swap).
 """
 
 from __future__ import annotations
@@ -23,9 +35,23 @@ from repro.core.fractahedron import fat_fractahedron
 from repro.routing.base import all_pairs_routes
 from repro.routing.cache import cached_tables
 from repro.servernet.fabric import DualFabric
-from repro.sim.parallel import SweepRunner, derive_seed
+from repro.sim.engine import RetryPolicy, ReroutePolicy
+from repro.sim.parallel import NetworkSpec, SweepRunner, derive_seed
 
-__all__ = ["run", "report", "single_fabric_availability"]
+__all__ = ["RECOVERY_TOPOLOGIES", "run", "report", "single_fabric_availability"]
+
+#: the Table 2 head-to-head pair, as picklable sweep specs
+RECOVERY_TOPOLOGIES: dict[str, NetworkSpec] = {
+    "fat_tree_4_2": NetworkSpec.make("fat_tree", height=3, down=4, up=2),
+    "fat_fractahedron": NetworkSpec.make("fat_fractahedron", levels=2),
+}
+
+#: one fail/repair episode: cables die at 1/4 of the run, are repaired at
+#: 3/4, so both the failure *and* the repair exercise the reroute path
+RECOVERY_CYCLES = 600
+RECOVERY_RATE = 0.03
+RECOVERY_RETRY = RetryPolicy(timeout=48, backoff=2.0, max_retries=2, resend_delay=1)
+RECOVERY_REROUTE = ReroutePolicy(detection_delay=16, reconvergence_delay=32)
 
 
 def single_fabric_availability(
@@ -100,6 +126,7 @@ def run(
     seed: int = 1996,
     jobs: int = 1,
     runner: SweepRunner | None = None,
+    recovery: bool = True,
 ) -> dict:
     runner = runner or SweepRunner(jobs)
     rows = runner.map(
@@ -108,7 +135,48 @@ def run(
         labels=[f"faults k={k}" for k in failure_counts],
     )
     pairs = rows[0]["pairs"] if rows else 0
-    return {"rows": rows, "pairs": pairs, "trials": trials}
+    result = {"rows": rows, "pairs": pairs, "trials": trials}
+    if recovery:
+        result["recovery"] = run_recovery(
+            failure_counts=failure_counts, seed=seed, runner=runner
+        )
+    return result
+
+
+def run_recovery(
+    failure_counts: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int = 1996,
+    jobs: int = 1,
+    runner: SweepRunner | None = None,
+) -> list[dict]:
+    """One fail/repair episode per (Table 2 topology, failure count).
+
+    Every point runs the full stack -- retry, online re-routing, dual-
+    fabric failover -- and is an independent task: its fault set derives
+    from (topology, failure count), so the grid is bit-identical whether
+    executed serially or across workers.
+    """
+    runner = runner or SweepRunner(jobs)
+    out: list[dict] = []
+    for name, spec in RECOVERY_TOPOLOGIES.items():
+        points = runner.recovery_curve(
+            spec,
+            failure_counts,
+            rate=RECOVERY_RATE,
+            cycles=RECOVERY_CYCLES,
+            packet_size=4,
+            seed=derive_seed(seed, "recovery", name),
+            fault_cycle=RECOVERY_CYCLES // 4,
+            repair_cycle=3 * RECOVERY_CYCLES // 4,
+            retry=RECOVERY_RETRY,
+            reroute=RECOVERY_REROUTE,
+            failover=True,
+            label=name,
+        )
+        for point in points:
+            point["topology"] = name
+            out.append(point)
+    return out
 
 
 def report(jobs: int = 1) -> str:
@@ -123,5 +191,21 @@ def report(jobs: int = 1) -> str:
             f"  {row['failures']:13d} | "
             f"{row['single_avg'] * 100:6.2f}% / {row['single_min'] * 100:6.2f}% | "
             f"{row['dual_avg'] * 100:6.2f}% / {row['dual_min'] * 100:6.2f}%"
+        )
+    lines += [
+        "",
+        "Recovery under live traffic (timeout/retry + online re-routing + "
+        "failover; one fail/repair episode):",
+        "  topology          k | delivered  retried  failover | swaps  "
+        "reconv  fo-lat | post-recovery",
+    ]
+    for row in result.get("recovery", []):
+        lines.append(
+            f"  {row['topology']:<16s} {row['failures']:2d} | "
+            f"{row['delivered']:5d}/{row['offered']:<5d} {row['retried']:5d} "
+            f"{row['failed_over']:5d}   | {row['reroutes']:3d}  "
+            f"{row['reconvergence_avg']:6.1f} {row['failover_latency_avg']:7.1f} | "
+            f"{row['post_recovery_rate'] * 100:6.2f}%"
+            + ("" if row["recovered_acyclic"] else "  [UNCERTIFIED]")
         )
     return "\n".join(lines)

@@ -86,6 +86,21 @@ HEADLINE_CHECKS: dict[str, Any] = {
             "dual fabric dominates",
             all(row["dual_avg"] > row["single_avg"] for row in r["rows"]),
         ),
+        (
+            "every online-recomputed table is CDG-certified",
+            all(row["recovered_acyclic"] for row in r.get("recovery", [])),
+        ),
+        (
+            "re-routing reconverges on failure and on repair",
+            all(row["reroutes"] == 2 for row in r.get("recovery", [])),
+        ),
+        (
+            "recovery restores full delivery",
+            all(
+                row["delivery_rate"] == 1.0 and row["post_recovery_rate"] == 1.0
+                for row in r.get("recovery", [])
+            ),
+        ),
     ],
 }
 
@@ -96,12 +111,14 @@ def reproduce(experiments: list[str] | None = None, jobs: int = 1) -> dict:
     ``jobs`` is forwarded to every driver whose ``run()`` accepts it, so
     the expensive sweeps fan out while the checks stay unchanged.
     """
-    import inspect
-
     from repro import __version__
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.registry import (
+        ExperimentConfig,
+        experiment_names,
+        get_experiment,
+    )
 
-    names = experiments or [n for n in ALL_EXPERIMENTS if n in HEADLINE_CHECKS]
+    names = experiments or [n for n in experiment_names() if n in HEADLINE_CHECKS]
     record: dict[str, Any] = {
         "paper": "Horst, ServerNet Deadlock Avoidance and Fractahedral "
         "Topologies, IPPS 1996",
@@ -111,11 +128,7 @@ def reproduce(experiments: list[str] | None = None, jobs: int = 1) -> dict:
         "all_passed": True,
     }
     for name in names:
-        module = ALL_EXPERIMENTS[name]
-        if jobs > 1 and "jobs" in inspect.signature(module.run).parameters:
-            result = module.run(jobs=jobs)
-        else:
-            result = module.run()
+        result = get_experiment(name).run(ExperimentConfig(jobs=jobs)).data
         checks = [
             {"check": text, "passed": bool(ok)}
             for text, ok in HEADLINE_CHECKS[name](result)

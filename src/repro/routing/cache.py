@@ -77,7 +77,7 @@ def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
     from repro.routing.dimension_order import dimension_order_tables
     from repro.routing.ecube import ecube_tables
     from repro.routing.shortest_path import shortest_path_tables
-    from repro.routing.tree_routing import tree_tables
+    from repro.routing.tree_routing import tree_tables, up_down_tables
     from repro.topology.butterfly import butterfly_tables
     from repro.topology.fattree import fat_tree_tables
 
@@ -89,7 +89,18 @@ def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
         "fractahedral": fractahedral_tables,
         "shortest_path": shortest_path_tables,
         "tree": tree_tables,
+        "up_down": up_down_tables,
     }
+
+
+def _accepts_allowed(builder: Callable[..., RoutingTable]) -> bool:
+    """True when a table builder takes an ``allowed`` link predicate."""
+    import inspect
+
+    try:
+        return "allowed" in inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
 
 
 class _AlgorithmRegistry(dict):
@@ -191,6 +202,13 @@ class RoutingTableCache:
         ``algorithm`` defaults to :func:`algorithm_for`; ``builder``
         overrides the registry (the algorithm name is still part of the
         key, so name your custom builders distinctly).
+
+        ``disables`` always contributes to the cache key; when it is a
+        link-level :class:`~repro.routing.disables.DisableSet` (anything
+        exposing ``allowed``) and the builder takes an ``allowed``
+        predicate, it is also *applied*: the builder compiles tables that
+        avoid the disabled links.  This is what lets online re-routing
+        memoize one table per distinct failure set across a whole sweep.
         """
         algorithm = algorithm or algorithm_for(net)
         k = self.key(net, algorithm, params, disables)
@@ -201,8 +219,16 @@ class RoutingTableCache:
                 self.stats.seconds_saved += self._build_cost.get(k, 0.0)
                 return cached
         build = builder or ALGORITHMS[algorithm]
+        call_params = dict(params)
+        if (
+            disables is not None
+            and hasattr(disables, "allowed")
+            and "allowed" not in call_params
+            and _accepts_allowed(build)
+        ):
+            call_params["allowed"] = disables.allowed
         start = time.perf_counter()
-        tables = build(net, **params)
+        tables = build(net, **call_params)
         elapsed = time.perf_counter() - start
         with self._lock:
             # Another thread may have raced us; keep the first entry so the

@@ -17,11 +17,14 @@ provides:
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
-from repro.network.graph import Network
+from repro.network.graph import Link, Network
 from repro.routing.base import RoutingError, RoutingTable
 
 __all__ = ["tree_tables", "up_down_tables", "fat_tree_tables"]
+
+LinkPredicate = Callable[[Link], bool]
 
 
 def tree_tables(net: Network) -> RoutingTable:
@@ -37,19 +40,27 @@ def tree_tables(net: Network) -> RoutingTable:
     return shortest_path_tables(net)
 
 
-def _bfs_levels(net: Network, root: str) -> dict[str, int]:
+def _bfs_levels(
+    net: Network, root: str, allowed: LinkPredicate | None = None
+) -> dict[str, int]:
     levels = {root: 0}
     queue: deque[str] = deque([root])
     while queue:
         current = queue.popleft()
         for link in net.out_links(current):
+            if allowed is not None and not allowed(link):
+                continue
             if net.node(link.dst).is_router and link.dst not in levels:
                 levels[link.dst] = levels[current] + 1
                 queue.append(link.dst)
     return levels
 
 
-def up_down_tables(net: Network, root: str | None = None) -> RoutingTable:
+def up_down_tables(
+    net: Network,
+    root: str | None = None,
+    allowed: LinkPredicate | None = None,
+) -> RoutingTable:
     """Up*/down* routing over an arbitrary connected router fabric.
 
     Links are oriented by BFS level from a root (ties by node id): the
@@ -63,14 +74,24 @@ def up_down_tables(net: Network, root: str | None = None) -> RoutingTable:
     Because "has an all-down path" is a property of the *current* router
     and destination only, destination-indexed tables suffice -- once a
     packet starts descending it keeps descending.
+
+    ``allowed`` restricts which router-to-router links may be used (the
+    ServerNet path-disable mechanism, and how the recovery subsystem
+    routes around failed links): disallowed links are invisible to both
+    the orientation BFS and the table construction, so the result is
+    deadlock-free over whatever fabric survives -- as long as it is still
+    connected.
     """
     routers = net.router_ids()
     if not routers:
         raise RoutingError("network has no routers")
     root = root or min(routers)
-    levels = _bfs_levels(net, root)
+    levels = _bfs_levels(net, root, allowed)
     if len(levels) != len(routers):
-        raise RoutingError("router fabric is not connected")
+        raise RoutingError(
+            "router fabric is not connected"
+            + (" over the allowed links" if allowed is not None else "")
+        )
 
     def is_up(src: str, dst: str) -> bool:
         """Orientation of the link src -> dst (True when heading rootward)."""
@@ -93,6 +114,8 @@ def up_down_tables(net: Network, root: str | None = None) -> RoutingTable:
                 src = link.src
                 if not net.node(src).is_router:
                     continue
+                if allowed is not None and not allowed(link):
+                    continue
                 if not is_up(src, current) and src not in down_dist:
                     down_dist[src] = down_dist[current] + 1
                     down_port[src] = link.src_port
@@ -112,6 +135,8 @@ def up_down_tables(net: Network, root: str | None = None) -> RoutingTable:
                 for link in net.out_links(router):
                     nxt = link.dst
                     if not net.node(nxt).is_router or not is_up(router, nxt):
+                        continue
+                    if allowed is not None and not allowed(link):
                         continue
                     if nxt in up_dist:
                         cand = up_dist[nxt] + 1

@@ -14,7 +14,7 @@ optional virtual-channel mode reproduces the Dally & Seitz alternative the
 paper rejects on cost grounds (§2.1).
 """
 
-from repro.sim.engine import DeadlockDetected, SimConfig
+from repro.sim.engine import DeadlockDetected, RetryPolicy, ReroutePolicy, SimConfig
 from repro.sim.packet import Flit, FlitKind, Packet
 from repro.sim.network_sim import WormholeSim
 from repro.sim.stats import SimStats
@@ -27,8 +27,20 @@ from repro.sim.traffic import (
     permutation_traffic,
     uniform_traffic,
 )
-from repro.sim.fault import LinkFault
-from repro.sim.sweep import LoadPoint, find_saturation, latency_curve, measure_point
+from repro.sim.fault import FaultSchedule, LinkFault, random_cable_schedule
+from repro.sim.recovery import (
+    FailoverPlan,
+    RecoveryManager,
+    recompute_recovery_tables,
+    simulate_with_recovery,
+)
+from repro.sim.sweep import (
+    LoadPoint,
+    find_saturation,
+    latency_curve,
+    measure_point,
+    recovery_curve,
+)
 from repro.sim.parallel import (
     NetworkSpec,
     SweepRunner,
@@ -39,9 +51,18 @@ from repro.sim.parallel import (
 
 __all__ = [
     "DeadlockDetected",
+    "FailoverPlan",
+    "FaultSchedule",
     "Flit",
     "FlitKind",
     "LinkFault",
+    "RecoveryManager",
+    "RetryPolicy",
+    "ReroutePolicy",
+    "random_cable_schedule",
+    "recompute_recovery_tables",
+    "recovery_curve",
+    "simulate_with_recovery",
     "LoadPoint",
     "NetworkSpec",
     "SweepRunner",

@@ -1,10 +1,10 @@
-"""Simulation configuration and the deadlock exception."""
+"""Simulation configuration, recovery policies, and the deadlock exception."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DeadlockDetected", "SimConfig"]
+__all__ = ["DeadlockDetected", "RetryPolicy", "ReroutePolicy", "SimConfig"]
 
 
 class DeadlockDetected(Exception):
@@ -24,6 +24,78 @@ class DeadlockDetected(Exception):
         self.cycle = cycle
         self.packets = packets
         self.at_cycle = at_cycle
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """NIC send-side timeout/retry (the paper's §2.0 recovery discussion).
+
+    A packet that has not completed ``timeout`` cycles after its injection
+    started is presumed lost: its worm is removed from the network (so
+    later traffic cannot deadlock behind dead flits) and the packet is
+    re-queued at its source.  Each successive attempt multiplies the
+    timeout by ``backoff`` (exponential backoff); after ``max_retries``
+    re-transmissions the packet is dropped -- or failed over to the second
+    fabric when one is configured.
+
+    Attributes:
+        timeout: cycles from injection start to the first timeout.
+        backoff: multiplier applied to the timeout per retry (>= 1).
+        max_retries: re-transmission budget per packet (0 = detect & drop).
+        resend_delay: cycles between killing the worm and re-queueing the
+            packet (models the NIC's retransmission turnaround).
+    """
+
+    timeout: int = 64
+    backoff: float = 2.0
+    max_retries: int = 3
+    resend_delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise ValueError("retry timeout must be >= 1 cycle")
+        if self.backoff < 1.0:
+            raise ValueError("retry backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.resend_delay < 1:
+            raise ValueError("resend_delay must be >= 1 cycle")
+
+    def timeout_for_attempt(self, attempt: int) -> int:
+        """Timeout of the ``attempt``-th transmission (0 = first send)."""
+        return max(1, int(self.timeout * self.backoff**attempt))
+
+
+@dataclass(frozen=True)
+class ReroutePolicy:
+    """Online re-routing around failed links.
+
+    Every fault-schedule transition is detected ``detection_delay`` cycles
+    after it happens (modelling timeout-driven fault detection); a new
+    deadlock-free routing table is then compiled with the down links
+    disabled, CDG-verified, and atomically swapped in after a further
+    ``reconvergence_delay`` cycles (modelling table distribution to every
+    router).  See :func:`repro.sim.recovery.recompute_recovery_tables` for
+    the algorithm ladder and :class:`repro.sim.recovery.RecoveryManager`
+    for the runtime wiring.
+
+    Attributes:
+        detection_delay: cycles from a link state change to its detection.
+        reconvergence_delay: cycles from detection to the table swap.
+        require_certified: swap only tables that pass the CDG acyclicity
+            and deliverability checks (a failed recompute is recorded but
+            the old tables stay in place).
+    """
+
+    detection_delay: int = 32
+    reconvergence_delay: int = 64
+    require_certified: bool = True
+
+    def __post_init__(self) -> None:
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be >= 0")
+        if self.reconvergence_delay < 0:
+            raise ValueError("reconvergence_delay must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -54,6 +126,9 @@ class SimConfig:
             (a wait cycle among wormhole-held channels can never resolve).
         raise_on_deadlock: raise :class:`DeadlockDetected` (True) or record
             it in the stats and stop (False).
+        retry: NIC send-side timeout/retry policy, or None to disable
+            recovery retransmission (the pre-recovery behaviour).
+        reroute: online re-routing policy, or None for static tables.
         seed: base RNG seed for traffic generation.
     """
 
@@ -64,6 +139,8 @@ class SimConfig:
     stall_threshold: int = 64
     deadlock_check_interval: int = 16
     raise_on_deadlock: bool = True
+    retry: RetryPolicy | None = None
+    reroute: ReroutePolicy | None = None
     seed: int = 1996
 
     def __post_init__(self) -> None:

@@ -25,10 +25,14 @@ class ChannelBuffer:
     ``current_out`` remembers which output (link, VC) the worm currently
     at the front of this buffer has been switched to; it is set when the
     head flit wins allocation and cleared when the tail departs, exactly
-    like the state a wormhole router keeps per input.
+    like the state a wormhole router keeps per input.  ``current_packet``
+    records which packet owns that latch -- the buffer can be *empty* while
+    the latch is live (head forwarded, bodies still upstream), so worm
+    cleanup after a send-side timeout needs the owner recorded explicitly
+    (see :meth:`repro.sim.network_sim.WormholeSim.drop_packet`).
     """
 
-    __slots__ = ("link_id", "vc", "capacity", "fifo", "current_out")
+    __slots__ = ("link_id", "vc", "capacity", "fifo", "current_out", "current_packet")
 
     def __init__(self, link_id: str, vc: int, capacity: int) -> None:
         self.link_id = link_id
@@ -36,6 +40,7 @@ class ChannelBuffer:
         self.capacity = capacity
         self.fifo: deque[Flit] = deque()
         self.current_out: tuple[str, int] | None = None
+        self.current_packet: int | None = None
 
     @property
     def key(self) -> tuple[str, int]:
@@ -59,6 +64,7 @@ class ChannelBuffer:
         flit = self.fifo.popleft()
         if flit.is_tail:
             self.current_out = None
+            self.current_packet = None
         return flit
 
     def __len__(self) -> int:

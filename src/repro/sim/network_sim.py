@@ -23,13 +23,16 @@ prevent.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.deadlock.waitfor import WaitForGraph
 from repro.network.graph import Network
 from repro.routing.base import RoutingTable
 from repro.sim.engine import DeadlockDetected, SimConfig
 from repro.sim.fault import LinkFault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.recovery import FailoverPlan, RecoveryManager
 from repro.sim.link import ChannelBuffer
 from repro.sim.nic import SinkState, SourceState
 from repro.sim.packet import Flit, Packet
@@ -70,6 +73,8 @@ class WormholeSim:
         trace: SimTrace | None = None,
         route_override: RouteOverride | None = None,
         on_deliver: OnDeliver | None = None,
+        failover: "FailoverPlan | None" = None,
+        recovery: "RecoveryManager | None" = None,
     ) -> None:
         self.net = net
         self.tables = tables
@@ -82,6 +87,26 @@ class WormholeSim:
         self.on_deliver = on_deliver
         self.stats = SimStats()
         self.cycle = 0
+
+        #: fault-recovery layer (see repro.sim.recovery); built implicitly
+        #: when the config carries a retry/reroute policy or a failover
+        #: plan is given, or injected explicitly for bespoke managers.
+        self.recovery = recovery
+        if self.recovery is None and (
+            self.config.retry is not None
+            or self.config.reroute is not None
+            or failover is not None
+        ):
+            from repro.sim.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(
+                net,
+                tables,
+                retry=self.config.retry,
+                reroute=self.config.reroute,
+                fault=fault,
+                failover=failover,
+            )
 
         vcs = range(self.config.vc_count)
         #: input FIFO per (link into a router, VC)
@@ -126,8 +151,20 @@ class WormholeSim:
     # ------------------------------------------------------------------
     @property
     def in_flight(self) -> int:
-        """Packets injected (at least partly) but not yet delivered."""
-        return self.stats.packets_injected - self.stats.packets_delivered
+        """Packets injected (at least partly) but not yet delivered.
+
+        With recovery active a packet can also *leave* the network by
+        being timed out: each re-transmission re-increments the injection
+        count, so retried / dropped / failed-over packets are subtracted
+        to keep this an exact census of worms currently in the fabric.
+        """
+        return (
+            self.stats.packets_injected
+            - self.stats.packets_delivered
+            - self.stats.packets_retried
+            - self.stats.packets_dropped
+            - self.stats.packets_failed_over
+        )
 
     @property
     def backlog(self) -> int:
@@ -149,7 +186,11 @@ class WormholeSim:
                 return self.stats
         if drain:
             budget = 4 * max_cycles + 1000
-            while (self.in_flight or self.backlog) and budget > 0:
+            while (
+                self.in_flight
+                or self.backlog
+                or (self.recovery is not None and self.recovery.pending)
+            ) and budget > 0:
                 self.step(generate=False)
                 if self.stats.deadlocked:
                     break
@@ -161,6 +202,12 @@ class WormholeSim:
     def step(self, generate: bool = True) -> None:
         """Execute one cycle."""
         cfg = self.config
+        # 0a. recovery actions due this cycle: timeouts fire (killing their
+        # worms before arbitration sees them), retried packets re-enter
+        # their source queues, detected faults trigger recomputation, and
+        # reconverged tables swap in.
+        if self.recovery is not None:
+            self.recovery.before_cycle(self)
         # 1. traffic admission
         if generate:
             for packet in self.traffic(self.cycle):
@@ -267,6 +314,7 @@ class WormholeSim:
             flit = buf.front()
             if flit.is_head:
                 buf.current_out = out_key
+                buf.current_packet = flit.packet_id
             flit = buf.pop()
             if not buf.fifo:
                 self._occupied.discard(in_key)
@@ -285,6 +333,8 @@ class WormholeSim:
                 key = (packet.src, packet.dst)
                 packet.sequence = self._pair_sequences.get(key, -1) + 1
                 self._pair_sequences[key] = packet.sequence
+                if self.recovery is not None:
+                    self.recovery.on_injected(packet, self.cycle)
                 if self.trace is not None:
                     self.trace.record(self.cycle, "inject", flit.packet_id, node_id)
                     # the injection hop is a link traversal too
@@ -372,6 +422,8 @@ class WormholeSim:
                 self.sinks[self._link_dst[link_id]].deliver(packet, self.cycle)
                 self.stats.packets_delivered += 1
                 self.stats.latencies.append(packet.latency)
+                if self.recovery is not None:
+                    self.recovery.on_delivered(packet, self.cycle)
                 if self.trace is not None:
                     self.trace.record(
                         self.cycle, "deliver", packet.packet_id, self._link_dst[link_id]
@@ -414,11 +466,100 @@ class WormholeSim:
             self.stats.in_order_violations = self._collect_violations()
             if self.config.raise_on_deadlock:
                 raise DeadlockDetected(cycle, wfg.blocked_packets(cycle), self.cycle)
-        elif self._stall >= 10 * self.config.stall_threshold:
+        elif self._stall >= 10 * self.config.stall_threshold and self.recovery is None:
+            # With recovery active a long stall is a legitimate state --
+            # worms blocked at a down link simply wait for the timeout or
+            # the table swap to free them -- so the tripwire only arms for
+            # plain simulations, where it means the model leaked a credit.
             raise RuntimeError(
                 f"simulation stalled {self._stall} cycles without a wait-for "
                 f"cycle at cycle {self.cycle}; in_flight={self.in_flight}"
             )
+
+    # ------------------------------------------------------------------
+    # recovery surface: worm removal and atomic table swap
+    # ------------------------------------------------------------------
+    def drop_packet(self, packet_id: int, at_cycle: int | None = None) -> int:
+        """Remove every trace of a packet's worm from the fabric.
+
+        This is the NIC-timeout cleanup: the send side has given up on the
+        packet, so its flits are purged from input FIFOs, router pipelines
+        and the source's injection cursor, and every output port its worm
+        held is released.  Without this, a retransmission could deadlock
+        behind its own first attempt's dead flits.  Returns the number of
+        flits dropped (also accumulated in ``stats.flits_dropped``).
+        """
+        dropped = 0
+        # input FIFOs + worm latches (a latch can outlive the last flit in
+        # its buffer -- head forwarded, bodies upstream -- hence the
+        # explicit current_packet ownership check, not a fifo scan)
+        for key, buf in self.buffers.items():
+            if buf.current_packet == packet_id:
+                out_key = buf.current_out
+                port = self.outputs.get(out_key)
+                if port is not None and port.holder == key:
+                    port.release()
+                buf.current_out = None
+                buf.current_packet = None
+            if buf.fifo and any(f.packet_id == packet_id for f in buf.fifo):
+                kept = [f for f in buf.fifo if f.packet_id != packet_id]
+                dropped += len(buf.fifo) - len(kept)
+                buf.fifo.clear()
+                buf.fifo.extend(kept)
+                if not buf.fifo:
+                    self._occupied.discard(key)
+        # flits mid router pipeline
+        for due, landing in list(self._pipeline.items()):
+            kept_landing = []
+            for key, flit in landing:
+                if flit.packet_id == packet_id:
+                    dropped += 1
+                    self._inflight[key] -= 1
+                else:
+                    kept_landing.append((key, flit))
+            if kept_landing:
+                self._pipeline[due] = kept_landing
+            else:
+                del self._pipeline[due]
+        # the injection cursor, if the packet is still (partly) at its source
+        packet = self.packets[packet_id]
+        source = self.sources[packet.src]
+        if source.queue and source.queue[0].packet_id == packet_id:
+            if source.cursor:
+                dropped += len(source.cursor)
+                source.cursor = []
+            source.queue.popleft()
+            self._inj_out.pop(packet.src, None)
+        else:
+            # not mid-injection; drop a queued duplicate defensively
+            for queued in list(source.queue):
+                if queued.packet_id == packet_id:
+                    source.queue.remove(queued)
+        self.stats.flits_dropped += dropped
+        self._stall = 0  # freed resources; give movement a fresh window
+        if self.trace is not None:
+            self.trace.record(
+                at_cycle if at_cycle is not None else self.cycle,
+                "drop",
+                packet_id,
+                packet.src,
+            )
+        return dropped
+
+    def swap_tables(self, tables: RoutingTable) -> None:
+        """Atomically install a new routing table.
+
+        Takes effect for every head flit routed from the next lookup on;
+        worms already latched to an output keep their path (their channels
+        are held, re-routing mid-worm would interleave flits).  Heads
+        parked at a down link re-route automatically: the desired output
+        is recomputed every cycle until a grant latches it.
+        """
+        self.tables = tables
+        self.stats.table_swaps += 1
+        self._stall = 0
+        if self.trace is not None:
+            self.trace.record(self.cycle, "reroute", None, f"swap #{self.stats.table_swaps}")
 
     def _collect_violations(self) -> list[str]:
         out: list[str] = []

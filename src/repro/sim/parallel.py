@@ -204,6 +204,51 @@ def _run_measure(task: _MeasureTask):
     )
 
 
+@dataclass(frozen=True)
+class _RecoveryTask:
+    """One fault-recovery measurement, fully self-describing and picklable.
+
+    The retry/reroute policies are frozen dataclasses and travel by value;
+    the fault schedule itself is *not* shipped -- it is re-derived inside
+    the worker from ``(seed, "faults", failures)``, the same identity the
+    serial path uses, which is what keeps jobs=N bit-identical to jobs=1.
+    """
+
+    target: Any
+    failures: int
+    rate: float
+    cycles: int
+    packet_size: int
+    seed: int
+    fault_cycle: "int | None"
+    repair_cycle: "int | None"
+    retry: Any
+    reroute: Any
+    failover: bool
+
+
+def _run_recovery(task: _RecoveryTask) -> dict[str, Any]:
+    from repro.sim.recovery import simulate_with_recovery
+
+    net, tables = resolve_target(task.target)
+    result = simulate_with_recovery(
+        net,
+        tables,
+        rate=task.rate,
+        cycles=task.cycles,
+        packet_size=task.packet_size,
+        seed=task.seed,
+        faults=task.failures,
+        fault_cycle=task.fault_cycle,
+        repair_cycle=task.repair_cycle,
+        retry=task.retry,
+        reroute=task.reroute,
+        failover=task.failover,
+    )
+    result["failures"] = task.failures
+    return result
+
+
 def _run_saturation(job: tuple[Any, dict[str, Any]]) -> float:
     from repro.sim.sweep import find_saturation
 
@@ -213,15 +258,15 @@ def _run_saturation(job: tuple[Any, dict[str, Any]]) -> float:
 
 
 def _run_experiment(name: str) -> Any:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.registry import get_experiment
 
-    return ALL_EXPERIMENTS[name].run()
+    return get_experiment(name).run().data
 
 
 def _run_experiment_report(name: str) -> str:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.registry import get_experiment
 
-    return ALL_EXPERIMENTS[name].report()
+    return get_experiment(name).report()
 
 
 class SweepRunner:
@@ -335,6 +380,57 @@ class SweepRunner:
             _run_measure,
             tasks,
             labels=[f"{name} {switching} rate={r:g}" for r in rates],
+        )
+
+    def recovery_curve(
+        self,
+        target: "NetworkSpec | tuple[Network, RoutingTable]",
+        failure_counts: Sequence[int],
+        rate: float = 0.05,
+        cycles: int = 1000,
+        packet_size: int = 8,
+        seed: int = 1996,
+        fault_cycle: "int | None" = None,
+        repair_cycle: "int | None" = None,
+        retry: Any = None,
+        reroute: Any = None,
+        failover: bool = False,
+        label: str = "",
+    ) -> list[dict[str, Any]]:
+        """One fault-recovery measurement per failure count, in parallel.
+
+        Each point offers the same traffic (the base seed) against
+        ``failures`` random cable faults chosen from ``derive_seed(seed,
+        "faults", failures)`` -- the fault set is a function of the point's
+        identity, never of scheduling, so serial and parallel runs agree
+        bit-for-bit.  See :func:`repro.sim.recovery.simulate_with_recovery`
+        for the per-point metrics returned.
+        """
+        if not label:
+            if isinstance(target, NetworkSpec):
+                label = target.topology
+            else:
+                label = resolve_target(target)[0].name
+        tasks = [
+            _RecoveryTask(
+                target=target,
+                failures=int(k),
+                rate=float(rate),
+                cycles=cycles,
+                packet_size=packet_size,
+                seed=seed,
+                fault_cycle=fault_cycle,
+                repair_cycle=repair_cycle,
+                retry=retry,
+                reroute=reroute,
+                failover=failover,
+            )
+            for k in failure_counts
+        ]
+        return self.map(
+            _run_recovery,
+            tasks,
+            labels=[f"{label} recovery k={k}" for k in failure_counts],
         )
 
     def find_saturation_grid(

@@ -25,6 +25,21 @@ class SimStats:
     deadlock_cycle: list[str] | None = None
     deadlock_at: int | None = None
     in_order_violations: list[str] = field(default_factory=list)
+    # --- recovery counters (see repro.sim.recovery) ---
+    #: worms killed by a send-side timeout and re-queued at their source
+    packets_retried: int = 0
+    #: packets abandoned after exhausting their retry budget (no failover)
+    packets_dropped: int = 0
+    #: packets retargeted to the second fabric after exhausting retries
+    packets_failed_over: int = 0
+    #: creation-to-second-fabric-delivery latencies of failed-over packets
+    failover_latencies: list[int] = field(default_factory=list)
+    #: flits physically removed from buffers/pipelines by worm cleanup
+    flits_dropped: int = 0
+    #: number of atomic routing-table swaps performed by online re-routing
+    table_swaps: int = 0
+    #: per-swap fault-transition-to-swap delays (time to reconvergence)
+    reconvergence_cycles: list[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -53,6 +68,28 @@ class SimStats:
         """Delivered flits per node per cycle -- the classic accepted-traffic axis."""
         return self.throughput_flits_per_cycle() / num_nodes if num_nodes else 0.0
 
+    @property
+    def packets_recovered(self) -> int:
+        """Packets that needed recovery and still completed somewhere."""
+        return self.packets_failed_over
+
+    @property
+    def avg_failover_latency(self) -> float:
+        if not self.failover_latencies:
+            return float("nan")
+        return float(np.mean(self.failover_latencies))
+
+    def recovery_summary(self) -> dict[str, float | int]:
+        """The recovery counters as one plain dict (for experiment rows)."""
+        return {
+            "retried": self.packets_retried,
+            "dropped": self.packets_dropped,
+            "failed_over": self.packets_failed_over,
+            "flits_dropped": self.flits_dropped,
+            "table_swaps": self.table_swaps,
+            "reconvergence_cycles": list(self.reconvergence_cycles),
+        }
+
     def summary(self) -> str:
         parts = [
             f"cycles={self.cycles}",
@@ -61,6 +98,13 @@ class SimStats:
             f"p99_lat={self.p99_latency:.1f}",
             f"thpt={self.throughput_flits_per_cycle():.3f} flits/cyc",
         ]
+        if self.packets_retried or self.packets_dropped or self.packets_failed_over:
+            parts.append(
+                f"retries={self.packets_retried} dropped={self.packets_dropped} "
+                f"failover={self.packets_failed_over}"
+            )
+        if self.table_swaps:
+            parts.append(f"reroutes={self.table_swaps}")
         if self.deadlocked:
             parts.append(f"DEADLOCK@{self.deadlock_at}")
         if self.in_order_violations:

@@ -24,7 +24,13 @@ from repro.sim.engine import SimConfig
 from repro.sim.network_sim import WormholeSim
 from repro.sim.traffic import uniform_traffic
 
-__all__ = ["LoadPoint", "find_saturation", "latency_curve", "measure_point"]
+__all__ = [
+    "LoadPoint",
+    "find_saturation",
+    "latency_curve",
+    "measure_point",
+    "recovery_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -120,6 +126,46 @@ def latency_curve(
         saturation_factor=saturation_factor,
         switching=switching,
     )
+
+
+def recovery_curve(
+    net: Network,
+    tables: RoutingTable,
+    failure_counts: tuple[int, ...],
+    rate: float = 0.05,
+    cycles: int = 1000,
+    packet_size: int = 8,
+    seed: int = 1996,
+    fault_cycle: int | None = None,
+    repair_cycle: int | None = None,
+    retry=None,
+    reroute=None,
+    failover: bool = False,
+    jobs: int = 1,
+) -> list[dict]:
+    """Fault-recovery metrics at each failure count (see
+    :func:`repro.sim.recovery.simulate_with_recovery`).
+
+    ``jobs > 1`` fans the failure counts over a process pool; fault sets
+    and traffic are derived from each point's identity, so the series is
+    bit-identical to the serial one.
+    """
+    from repro.sim.parallel import SweepRunner
+
+    with SweepRunner(jobs) as runner:
+        return runner.recovery_curve(
+            (net, tables),
+            failure_counts,
+            rate=rate,
+            cycles=cycles,
+            packet_size=packet_size,
+            seed=seed,
+            fault_cycle=fault_cycle,
+            repair_cycle=repair_cycle,
+            retry=retry,
+            reroute=reroute,
+            failover=failover,
+        )
 
 
 def find_saturation(

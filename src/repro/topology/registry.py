@@ -1,21 +1,160 @@
-"""Name-indexed registry of topology builders (used by the CLI and tests)."""
+"""Name-indexed registry of topology builders, with typed parameter specs.
+
+Every builder registers under a CLI-visible name together with a list of
+:class:`ParamSpec` entries -- one per keyword parameter, carrying the
+parameter's type, default and a one-line doc.  The specs are derived
+automatically from the builder's signature (every builder in this repo is
+fully annotated), so registration stays one line; they power
+
+* ``fractanet topologies --describe <name>`` (human-readable docs),
+* :func:`coerce_params` -- string-to-typed conversion and validation of
+  the CLI's ``--param key=value`` pairs, replacing the old ``eval``.
+"""
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.network.graph import Network
 
-__all__ = ["available_topologies", "build_topology", "register_topology"]
+__all__ = [
+    "ParamSpec",
+    "available_topologies",
+    "build_topology",
+    "coerce_params",
+    "describe_topology",
+    "register_topology",
+    "topology_params",
+]
+
+#: sentinel for parameters without a default (must be supplied)
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One keyword parameter of a topology builder."""
+
+    name: str
+    type: str  # normalized annotation text, e.g. "int", "Sequence[int]"
+    default: Any = REQUIRED
+    doc: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def describe(self) -> str:
+        default = "required" if self.required else f"default {self.default!r}"
+        doc = f"  {self.doc}" if self.doc else ""
+        return f"{self.name}: {self.type} ({default}){doc}"
+
+    # ------------------------------------------------------------------
+    def coerce(self, raw: Any) -> Any:
+        """Convert a CLI string to this parameter's type.
+
+        Non-strings pass through (programmatic callers already send typed
+        values).  Strings accept the obvious spellings: ints, floats,
+        ``true/false``, ``none``, and comma- or ``x``-separated sequences
+        for ``Sequence[int]`` shapes (``4,4`` and ``4x4`` both mean a
+        4x4 mesh).
+        """
+        if not isinstance(raw, str):
+            return raw
+        text = raw.strip()
+        base = self.type.replace(" ", "")
+        optional = "|None" in base or base.startswith("Optional[")
+        if optional and text.lower() in ("none", "null"):
+            return None
+        base = base.replace("|None", "").replace("Optional[", "").rstrip("]")
+        if base.startswith(("Sequence[", "tuple[", "list[")):
+            inner = base.split("[", 1)[1].rstrip(",.]")
+            cast = float if inner == "float" else int
+            parts = text.strip("()[]").replace("x", ",").split(",")
+            return tuple(cast(p) for p in parts if p.strip())
+        if base == "int":
+            return int(text)
+        if base == "float":
+            return float(text)
+        if base == "bool":
+            if text.lower() in ("1", "true", "yes", "on"):
+                return True
+            if text.lower() in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"{self.name}: expected a boolean, got {raw!r}")
+        return text  # str (or unannotated): keep as given
+
+
+def _specs_from_signature(builder: Callable[..., Network]) -> tuple[ParamSpec, ...]:
+    """Derive parameter specs from a builder's (annotated) signature.
+
+    The first line of each parameter's description is taken from the
+    builder docstring's ``Args:`` section when one exists.
+    """
+    docs = _param_docs(builder)
+    specs = []
+    for param in inspect.signature(builder).parameters.values():
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            continue
+        annotation = (
+            param.annotation
+            if isinstance(param.annotation, str)
+            else getattr(param.annotation, "__name__", str(param.annotation))
+        )
+        if param.annotation is param.empty:
+            annotation = "str"
+        specs.append(
+            ParamSpec(
+                name=param.name,
+                type=annotation,
+                default=REQUIRED if param.default is param.empty else param.default,
+                doc=docs.get(param.name, ""),
+            )
+        )
+    return tuple(specs)
+
+
+def _param_docs(builder: Callable[..., Network]) -> dict[str, str]:
+    """First doc line per parameter from a Google-style ``Args:`` section."""
+    doc = inspect.getdoc(builder) or ""
+    out: dict[str, str] = {}
+    in_args = False
+    for line in doc.splitlines():
+        stripped = line.strip()
+        if stripped == "Args:":
+            in_args = True
+            continue
+        if in_args:
+            if stripped and not line.startswith((" ", "\t")):
+                break  # left the indented Args block
+            if ":" in stripped:
+                name, _, rest = stripped.partition(":")
+                if name.isidentifier():
+                    out[name] = rest.strip()
+    return out
+
 
 _REGISTRY: dict[str, Callable[..., Network]] = {}
+_PARAMS: dict[str, tuple[ParamSpec, ...]] = {}
+_defaults_loaded = False
 
 
-def register_topology(name: str, builder: Callable[..., Network]) -> None:
-    """Register a builder under a CLI-visible name."""
+def register_topology(
+    name: str,
+    builder: Callable[..., Network],
+    params: tuple[ParamSpec, ...] | None = None,
+) -> None:
+    """Register a builder under a CLI-visible name.
+
+    ``params`` overrides the signature-derived parameter specs (useful for
+    builders whose signature is ``**kwargs``-shaped).
+    """
     if name in _REGISTRY:
         raise ValueError(f"topology {name!r} already registered")
     _REGISTRY[name] = builder
+    _PARAMS[name] = params if params is not None else _specs_from_signature(builder)
 
 
 def available_topologies() -> list[str]:
@@ -24,21 +163,79 @@ def available_topologies() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def topology_params(name: str) -> tuple[ParamSpec, ...]:
+    """The typed parameter specs of a registered topology."""
+    _lookup(name)  # raises with the full listing on unknown names
+    return _PARAMS[name]
+
+
+def describe_topology(name: str) -> str:
+    """Human-readable description: builder doc line plus every parameter."""
+    builder = _lookup(name)
+    doc = (inspect.getdoc(builder) or "").strip().splitlines()
+    lines = [f"{name}: {doc[0] if doc else '(undocumented)'}"]
+    specs = _PARAMS[name]
+    if not specs:
+        lines.append("  (no parameters)")
+    for spec in specs:
+        lines.append(f"  {spec.describe()}")
+    return "\n".join(lines)
+
+
+def coerce_params(name: str, raw: dict[str, Any]) -> dict[str, Any]:
+    """Validate and type-coerce ``--param`` values against a builder's specs.
+
+    Unknown parameter names and missing required parameters raise
+    ``ValueError`` with the valid listing, so the CLI can fail with a
+    message instead of a builder traceback.
+    """
+    _lookup(name)
+    specs = {s.name: s for s in _PARAMS[name]}
+    out: dict[str, Any] = {}
+    for key, value in raw.items():
+        spec = specs.get(key)
+        if spec is None:
+            raise ValueError(
+                f"unknown parameter {key!r} for topology {name!r}; "
+                f"valid: {', '.join(specs) or '(none)'}"
+            )
+        try:
+            out[key] = spec.coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad value for {name} parameter {key}: {exc}"
+            ) from None
+    missing = [s.name for s in specs.values() if s.required and s.name not in out]
+    if missing:
+        raise ValueError(
+            f"topology {name!r} requires parameter(s): {', '.join(missing)}"
+        )
+    return out
+
+
 def build_topology(name: str, **params: Any) -> Network:
     """Build a registered topology by name with keyword parameters."""
+    return _lookup(name)(**params)
+
+
+def _lookup(name: str) -> Callable[..., Network]:
     _ensure_defaults()
     try:
-        builder = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown topology {name!r}; available: {', '.join(sorted(_REGISTRY))}"
         ) from None
-    return builder(**params)
 
 
 def _ensure_defaults() -> None:
-    if _REGISTRY:
+    # Guarded by an explicit flag, NOT by `if _REGISTRY:` -- a user
+    # registering a custom topology before the first lookup used to make
+    # the registry look populated and silently hide every built-in.
+    global _defaults_loaded
+    if _defaults_loaded:
         return
+    _defaults_loaded = True
     from repro.core.fractahedron import fat_fractahedron, thin_fractahedron
     from repro.topology.butterfly import butterfly
     from repro.topology.ccc import cube_connected_cycles

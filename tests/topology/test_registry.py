@@ -1,8 +1,18 @@
-"""Unit tests for the topology registry."""
+"""Unit tests for the topology registry and its typed parameter specs."""
 
 import pytest
 
-from repro.topology.registry import available_topologies, build_topology
+from repro.topology import registry
+from repro.topology.registry import (
+    REQUIRED,
+    ParamSpec,
+    available_topologies,
+    build_topology,
+    coerce_params,
+    describe_topology,
+    register_topology,
+    topology_params,
+)
 
 
 def test_lists_all_builders():
@@ -33,3 +43,113 @@ def test_build_fractahedron_by_name():
 def test_unknown_name():
     with pytest.raises(ValueError, match="unknown topology"):
         build_topology("klein_bottle")
+
+
+class TestParamSpec:
+    def test_int_and_float(self):
+        assert ParamSpec("n", "int").coerce("12") == 12
+        assert ParamSpec("r", "float").coerce("0.5") == 0.5
+
+    def test_bool_spellings(self):
+        spec = ParamSpec("flag", "bool")
+        assert spec.coerce("true") is True and spec.coerce("ON") is True
+        assert spec.coerce("0") is False and spec.coerce("no") is False
+        with pytest.raises(ValueError, match="expected a boolean"):
+            spec.coerce("maybe")
+
+    def test_sequence_spellings(self):
+        spec = ParamSpec("shape", "Sequence[int]")
+        assert spec.coerce("4,4") == (4, 4)
+        assert spec.coerce("4x4") == (4, 4)  # mesh shorthand
+        assert spec.coerce("(2, 3, 4)") == (2, 3, 4)
+
+    def test_optional_none(self):
+        spec = ParamSpec("cap", "int | None", default=None)
+        assert spec.coerce("none") is None
+        assert spec.coerce("7") == 7
+
+    def test_non_strings_pass_through(self):
+        assert ParamSpec("n", "int").coerce(9) == 9
+        assert ParamSpec("shape", "Sequence[int]").coerce((4, 4)) == (4, 4)
+
+    def test_required_and_describe(self):
+        req = ParamSpec("levels", "int")
+        assert req.required and req.default is REQUIRED
+        assert "required" in req.describe()
+        opt = ParamSpec("levels", "int", default=2, doc="recursion depth")
+        assert not opt.required
+        assert "default 2" in opt.describe()
+        assert "recursion depth" in opt.describe()
+
+
+class TestCoerceParams:
+    def test_coerces_against_builder_signature(self):
+        params = coerce_params("mesh", {"shape": "3x3", "nodes_per_router": "2"})
+        assert params == {"shape": (3, 3), "nodes_per_router": 2}
+        net = build_topology("mesh", **params)
+        assert net.num_routers == 9
+
+    def test_unknown_param_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown parameter 'depth'"):
+            coerce_params("fat_fractahedron", {"depth": "3"})
+
+    def test_bad_value_names_the_parameter(self):
+        with pytest.raises(ValueError, match="bad value for ring parameter"):
+            coerce_params("ring", {"num_routers": "lots"})
+
+    def test_table2_instances_need_no_params(self):
+        # the CI smoke command builds these with zero --param flags
+        assert coerce_params("fat_fractahedron", {}) == {}
+        assert build_topology("fat_fractahedron").num_end_nodes == 64
+        assert build_topology("thin_fractahedron").num_end_nodes == 64
+
+
+class TestDescribe:
+    def test_describe_lists_every_param(self):
+        text = describe_topology("fat_tree")
+        assert text.startswith("fat_tree:")
+        for spec in topology_params("fat_tree"):
+            assert spec.name in text
+
+    def test_specs_carry_docstring_lines(self):
+        specs = {s.name: s for s in topology_params("mesh")}
+        assert specs["shape"].type.replace(" ", "") in (
+            "Sequence[int]",
+            "tuple[int,...]",
+        )
+
+    def test_unknown_name_in_describe(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            describe_topology("klein_bottle")
+
+
+class TestDefaultsLoading:
+    """Regression for the `_ensure_defaults` early-return bug.
+
+    The guard used to be ``if _REGISTRY: return`` -- registering a custom
+    topology *before* the first lookup made the registry look populated
+    and silently hid every built-in.  The fix is an explicit
+    ``_defaults_loaded`` flag.
+    """
+
+    @pytest.fixture
+    def fresh_registry(self, monkeypatch):
+        monkeypatch.setattr(registry, "_REGISTRY", {})
+        monkeypatch.setattr(registry, "_PARAMS", {})
+        monkeypatch.setattr(registry, "_defaults_loaded", False)
+
+    def test_custom_registration_does_not_hide_builtins(self, fresh_registry):
+        register_topology("custom", lambda n: n, params=())
+        names = available_topologies()
+        assert "custom" in names
+        assert "mesh" in names and "fat_fractahedron" in names
+
+    def test_duplicate_registration_rejected(self, fresh_registry):
+        register_topology("custom", lambda n: n, params=())
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology("custom", lambda n: n, params=())
+
+    def test_builtin_names_stay_reserved(self, fresh_registry):
+        available_topologies()  # load defaults first
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology("mesh", lambda n: n, params=())
