@@ -135,6 +135,7 @@ def cmd_sweep(args) -> int:
             retry=retry,
             reroute=reroute,
             failover=args.failover,
+            engine=args.engine,
         )
         print(f"{net.name} recovery sweep @ rate {args.rate}:")
         print("  faults  delivered  retried  failover  dropped  swaps  post-recovery")
@@ -154,6 +155,7 @@ def cmd_sweep(args) -> int:
         cycles=args.cycles,
         packet_size=args.packet_size,
         switching=args.switching,
+        engine=args.engine,
     )
     print(f"{net.name} ({args.switching}):")
     print("  offered   accepted    avg lat    p99 lat")
@@ -170,6 +172,7 @@ def cmd_sweep(args) -> int:
             cycles=args.cycles,
             packet_size=args.packet_size,
             switching=args.switching,
+            engine=args.engine,
         )
         print(f"  saturation rate: {sat:.4f} flits/node/cycle")
     print(runner.stats.report(per_task=args.verbose))
@@ -286,6 +289,7 @@ def cmd_simulate(args) -> int:
             retry=retry,
             reroute=reroute,
             failover=args.failover,
+            engine=args.engine,
         )
         print(
             f"{net.name} @ rate {args.rate} with {args.faults} cable fault(s): "
@@ -310,7 +314,12 @@ def cmd_simulate(args) -> int:
     from repro.experiments.future_simulation import simulate_load_point
 
     point = simulate_load_point(
-        net, tables, rate=args.rate, cycles=args.cycles, packet_size=args.packet_size
+        net,
+        tables,
+        rate=args.rate,
+        cycles=args.cycles,
+        packet_size=args.packet_size,
+        engine=args.engine,
     )
     print(
         f"{net.name} @ rate {args.rate}: accepted "
@@ -377,6 +386,10 @@ def main(argv: list[str] | None = None) -> int:
     sweep_p.add_argument("--packet-size", type=int, default=8)
     sweep_p.add_argument("--switching", default="wormhole",
                          choices=("wormhole", "store_and_forward"))
+    sweep_p.add_argument("--engine", default="auto",
+                         choices=("auto", "compiled", "reference"),
+                         help="simulator engine (both are bit-identical; "
+                              "'auto' compiles when the config allows)")
     sweep_p.add_argument("--saturation", action="store_true",
                          help="also binary-search the saturation rate")
     sweep_p.add_argument("--jobs", type=int, default=1, metavar="N")
@@ -413,6 +426,9 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--packet-size", type=int, default=8)
             p.add_argument("--faults", type=int, default=0, metavar="K",
                            help="fail K random cables a quarter into the run")
+            p.add_argument("--engine", default="auto",
+                           choices=("auto", "compiled", "reference"),
+                           help="simulator engine (both are bit-identical)")
             _add_recovery_flags(p)
         p.set_defaults(func=fn)
 

@@ -75,6 +75,7 @@ def simulate_load_point(
     cycles: int = 3000,
     packet_size: int = 8,
     seed: int = 1996,
+    engine: str = "auto",
 ) -> dict:
     """One point of the latency/throughput curve.
 
@@ -90,7 +91,12 @@ def simulate_load_point(
         net,
         tables,
         traffic,
-        SimConfig(buffer_depth=4, raise_on_deadlock=False, stall_threshold=200),
+        SimConfig(
+            buffer_depth=4,
+            raise_on_deadlock=False,
+            stall_threshold=200,
+            engine=engine,
+        ),
     )
     stats = sim.run(cycles, drain=False)
     sim.finalize()

@@ -26,6 +26,7 @@ __all__ = [
     "Link",
     "Network",
     "NetworkError",
+    "NetworkIndices",
     "Node",
     "NodeKind",
     "PortBudgetError",
@@ -105,6 +106,26 @@ def make_link_id(src: str, src_port: int, dst: str, dst_port: int) -> str:
     return f"{src}:{src_port}{LINK_SEP}{dst}:{dst_port}"
 
 
+@dataclass(frozen=True)
+class NetworkIndices:
+    """Stable dense integer indices for one structural revision of a network.
+
+    Link indices follow ``sorted(link_ids)`` so that sorting by index is
+    exactly sorting by link-id string -- the property the compiled simulator
+    core relies on to reproduce the reference engine's arbitration order
+    bit for bit.  Router and end-node indices follow insertion order, the
+    same order ``router_ids()`` / ``end_node_ids()`` report.
+    """
+
+    version: int
+    link_ids: tuple[str, ...]
+    link_index: dict[str, int]
+    router_ids: tuple[str, ...]
+    router_index: dict[str, int]
+    end_ids: tuple[str, ...]
+    end_index: dict[str, int]
+
+
 class Network:
     """A directed network of routers and end nodes.
 
@@ -123,6 +144,10 @@ class Network:
         #: node_id -> {port -> link_id of the *incoming* link on that port}
         self._in_ports: dict[str, dict[int, str]] = {}
         self.attrs: dict[str, Any] = {}
+        #: structural revision counter -- bumped on every node/link mutation
+        #: so derived artifacts (index maps, compiled IRs) can detect staleness
+        self._version = 0
+        self._indices: "NetworkIndices | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -143,7 +168,12 @@ class Network:
         self._nodes[node.node_id] = node
         self._out_ports[node.node_id] = {}
         self._in_ports[node.node_id] = {}
+        self._touch()
         return node
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._indices = None
 
     def connect(
         self,
@@ -178,6 +208,7 @@ class Network:
         self._in_ports[a][a_port] = rev.link_id
         self._out_ports[b][b_port] = rev.link_id
         self._in_ports[b][b_port] = fwd.link_id
+        self._touch()
         return fwd, rev
 
     def connect_next_free(self, a: str, b: str, **attrs: Any) -> tuple[Link, Link]:
@@ -192,6 +223,7 @@ class Network:
             del self._links[l.link_id]
             del self._out_ports[l.src][l.src_port]
             del self._in_ports[l.dst][l.dst_port]
+        self._touch()
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every cable attached to it."""
@@ -201,6 +233,7 @@ class Network:
         del self._nodes[node_id]
         del self._out_ports[node_id]
         del self._in_ports[node_id]
+        self._touch()
 
     # ------------------------------------------------------------------
     # queries
@@ -246,6 +279,33 @@ class Network:
 
     def end_node_ids(self) -> list[str]:
         return [n.node_id for n in self._nodes.values() if n.is_end_node]
+
+    @property
+    def version(self) -> int:
+        """Structural revision; changes whenever nodes or links change."""
+        return self._version
+
+    def indices(self) -> NetworkIndices:
+        """Dense integer index assignment for the current structure.
+
+        Cached per :attr:`version`; any topology mutation invalidates it,
+        so holders can compare ``indices().version`` to detect staleness.
+        """
+        got = self._indices
+        if got is None:
+            link_ids = tuple(sorted(self._links))
+            router_ids = tuple(self.router_ids())
+            end_ids = tuple(self.end_node_ids())
+            got = self._indices = NetworkIndices(
+                version=self._version,
+                link_ids=link_ids,
+                link_index={lid: i for i, lid in enumerate(link_ids)},
+                router_ids=router_ids,
+                router_index={r: i for i, r in enumerate(router_ids)},
+                end_ids=end_ids,
+                end_index={e: i for i, e in enumerate(end_ids)},
+            )
+        return got
 
     @property
     def num_nodes(self) -> int:

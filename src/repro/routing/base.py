@@ -12,9 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from repro.network.graph import Network
 
 __all__ = [
+    "LoweredTable",
     "Route",
     "RouteSet",
     "RoutingError",
@@ -114,8 +117,71 @@ class RoutingTable:
     def copy(self) -> "RoutingTable":
         return RoutingTable(self._entries)
 
+    def lower(self, net: Network, vc_count: int = 1) -> "LoweredTable":
+        """Lower the string-keyed table onto a network's integer indices.
+
+        Produces the flat ``router_index x end_index`` array the compiled
+        simulator core routes from: each cell holds the *base channel*
+        ``link_index * vc_count`` of the outgoing link the entry forwards
+        onto, or ``-1`` when the router has no entry for that destination
+        (or the entry names an uncabled port).  ``-1`` cells are resolved
+        through the original table at runtime so the exact
+        :class:`RoutingError` / ``NetworkError`` diagnostics of the
+        reference engine are preserved.
+        """
+        from repro.network.graph import NetworkError
+
+        idx = net.indices()
+        rows = np.full((len(idx.router_ids), len(idx.end_ids)), -1, dtype=np.int64)
+        for router, dests in self._entries.items():
+            r = idx.router_index.get(router)
+            if r is None:
+                continue
+            row = rows[r]
+            for dest, port in dests.items():
+                e = idx.end_index.get(dest)
+                if e is None:
+                    continue
+                try:
+                    link = net.out_link_on_port(router, port)
+                except NetworkError:
+                    continue
+                row[e] = idx.link_index[link.link_id] * vc_count
+        return LoweredTable(
+            rows=rows,
+            version=idx.version,
+            vc_count=vc_count,
+            num_entries=self.num_entries(),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<RoutingTable {len(self._entries)} routers, {self.num_entries()} entries>"
+
+
+@dataclass(frozen=True)
+class LoweredTable:
+    """A routing table lowered to dense integer indices (see ``lower``).
+
+    ``rows[router_index][end_index]`` is the base output channel
+    (``link_index * vc_count``) or ``-1``.  :attr:`row_lists` is the same
+    data as nested Python lists -- scalar indexing into small Python lists
+    beats numpy item access in the per-cycle hot loop.  ``version`` and
+    ``num_entries`` let holders detect stale lowerings after topology or
+    table mutation.
+    """
+
+    rows: "np.ndarray"
+    version: int
+    vc_count: int
+    num_entries: int
+
+    @property
+    def row_lists(self) -> list[list[int]]:
+        got = self.__dict__.get("_row_lists")
+        if got is None:
+            got = self.rows.tolist()
+            object.__setattr__(self, "_row_lists", got)
+        return got
 
 
 def compute_route(net: Network, tables: RoutingTable, src: str, dst: str) -> Route:

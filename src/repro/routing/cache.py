@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.network.graph import Network
-from repro.routing.base import RoutingTable
+from repro.routing.base import LoweredTable, RoutingTable
 
 __all__ = [
     "ALGORITHMS",
@@ -169,6 +169,13 @@ class RoutingTableCache:
     def __init__(self) -> None:
         self._entries: dict[str, RoutingTable] = {}
         self._build_cost: dict[str, float] = {}
+        #: id(table) -> (table, content key) for tables we handed out, so a
+        #: lowering request can be keyed by the same content hash without
+        #: the caller re-supplying algorithm/params.  Tables in _entries are
+        #: strongly held, so the recorded ids can never be recycled.
+        self._key_by_id: dict[int, tuple[RoutingTable, str]] = {}
+        #: (content key, vc_count) -> lowered form (see RoutingTable.lower)
+        self._lowered: dict[tuple[str, int], LoweredTable] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -234,6 +241,7 @@ class RoutingTableCache:
             # Another thread may have raced us; keep the first entry so the
             # "same object on every hit" guarantee holds.
             winner = self._entries.setdefault(k, tables)
+            self._key_by_id[id(winner)] = (winner, k)
             if winner is tables:
                 self.stats.misses += 1
                 self.stats.build_seconds += elapsed
@@ -243,10 +251,37 @@ class RoutingTableCache:
                 self.stats.seconds_saved += self._build_cost.get(k, 0.0)
             return winner
 
+    def get_or_lower(self, net: Network, tables: RoutingTable, vc_count: int = 1) -> LoweredTable:
+        """Lowered (integer-indexed) form of ``tables``, memoized by content.
+
+        When ``tables`` is an object this cache handed out, the lowering is
+        stored under the same content key (plus ``vc_count``) -- cached
+        tables are frozen by contract, and the key embeds the network
+        fingerprint whose canonical JSON preserves node insertion order, so
+        one lowering is valid for every structurally identical network.
+        Unknown table objects are lowered fresh on every call.
+        """
+        with self._lock:
+            known = self._key_by_id.get(id(tables))
+            if known is not None and known[0] is tables:
+                lk = (known[1], vc_count)
+                got = self._lowered.get(lk)
+                if got is not None and got.num_entries == tables.num_entries():
+                    return got
+            else:
+                lk = None
+        lowered = tables.lower(net, vc_count)
+        if lk is not None:
+            with self._lock:
+                lowered = self._lowered.setdefault(lk, lowered)
+        return lowered
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._build_cost.clear()
+            self._key_by_id.clear()
+            self._lowered.clear()
             self.stats = CacheStats()
 
     def __len__(self) -> int:

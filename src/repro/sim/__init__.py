@@ -12,11 +12,18 @@ tables contain channel-dependency cycles, the simulation deadlocks exactly
 like Figure 1, and the runtime wait-for detector reports the cycle.  An
 optional virtual-channel mode reproduces the Dally & Seitz alternative the
 paper rejects on cost grounds (§2.1).
+
+Two engines implement the same cycle semantics: the readable
+object-per-flit reference interpreter (:class:`ReferenceSim`) and the
+integer-indexed compiled core (:class:`SimCore`, see ``repro.sim.compile``)
+that :class:`WormholeSim` dispatches to by default.  They are bit-identical
+by contract and by test (``tests/sim/test_engine_equivalence.py``).
 """
 
+from repro.sim.compile import CompiledNet, SimCore, compile_network
 from repro.sim.engine import DeadlockDetected, RetryPolicy, ReroutePolicy, SimConfig
 from repro.sim.packet import Flit, FlitKind, Packet
-from repro.sim.network_sim import WormholeSim
+from repro.sim.network_sim import ReferenceSim, WormholeSim
 from repro.sim.stats import SimStats
 from repro.sim.trace import SimTrace, TraceEvent
 from repro.sim.traffic import (
@@ -50,6 +57,7 @@ from repro.sim.parallel import (
 )
 
 __all__ = [
+    "CompiledNet",
     "DeadlockDetected",
     "FailoverPlan",
     "FaultSchedule",
@@ -71,12 +79,15 @@ __all__ = [
     "derive_seed",
     "measure_point",
     "Packet",
+    "ReferenceSim",
     "SimConfig",
+    "SimCore",
     "SimStats",
     "SimTrace",
     "TraceEvent",
     "TrafficGenerator",
     "WormholeSim",
+    "compile_network",
     "explicit_traffic",
     "find_saturation",
     "latency_curve",

@@ -130,6 +130,13 @@ class SimConfig:
             recovery retransmission (the pre-recovery behaviour).
         reroute: online re-routing policy, or None for static tables.
         seed: base RNG seed for traffic generation.
+        engine: which step kernel executes the simulation.  ``"auto"``
+            (default) picks the integer-indexed compiled core whenever the
+            run uses only features it supports and silently falls back to
+            the reference interpreter otherwise; ``"compiled"`` forces the
+            compiled core (raising if an unsupported feature is requested);
+            ``"reference"`` forces the original string-keyed interpreter.
+            Both engines are bit-identical on supported configurations.
     """
 
     buffer_depth: int = 4
@@ -142,8 +149,11 @@ class SimConfig:
     retry: RetryPolicy | None = None
     reroute: ReroutePolicy | None = None
     seed: int = 1996
+    engine: str = "auto"  # or "compiled" / "reference"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("auto", "compiled", "reference"):
+            raise ValueError(f"unknown engine {self.engine!r}")
         if self.buffer_depth < 1:
             raise ValueError("buffer_depth must be >= 1")
         if self.vc_count < 1:

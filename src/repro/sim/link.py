@@ -3,6 +3,12 @@
 Each unidirectional link terminates in a small FIFO at its downstream
 node (per virtual channel).  Credit-based flow control falls out of the
 model: a flit may only traverse the link when the FIFO has a free slot.
+
+The reference engine holds live ``ChannelBuffer`` objects; the compiled
+core (``repro.sim.compile``) stores the same FIFOs as deques of flit ints
+and materializes ``ChannelBuffer`` *snapshots* on demand through its
+``buffers`` property, so inspection code works unchanged on either
+engine.
 """
 
 from __future__ import annotations

@@ -19,6 +19,18 @@ The simulator enforces *nothing* about deadlock: give it tables whose
 channel-dependency graph is cyclic and the right traffic, and it locks up,
 which is exactly the behaviour the paper's restricted routings exist to
 prevent.
+
+Two engines implement this cycle:
+
+* :class:`ReferenceSim` (this module) -- the original string-keyed
+  interpreter, kept as the executable specification and for the hooks the
+  compiled core does not model (``vc_select``, ``route_override``,
+  ``on_deliver``, store-and-forward switching);
+* :class:`~repro.sim.compile.SimCore` -- the integer-indexed compiled
+  core, bit-identical on everything it supports and several times faster.
+
+:class:`WormholeSim` is the facade everything constructs; it resolves
+``SimConfig.engine`` ("auto" / "compiled" / "reference") and delegates.
 """
 
 from __future__ import annotations
@@ -41,7 +53,7 @@ from repro.sim.stats import SimStats
 from repro.sim.trace import SimTrace
 from repro.sim.traffic import TrafficGenerator
 
-__all__ = ["WormholeSim"]
+__all__ = ["ReferenceSim", "WormholeSim"]
 
 #: VC selector: (router_id, in_link_id | None, out_link_id, flit, in_vc)
 #: -> out_vc.  ``in_link_id`` is None at injection.
@@ -59,8 +71,12 @@ RouteOverride = Callable[[str, str, "WormholeSim"], "int | None"]
 OnDeliver = Callable[[Packet, int], "list[Packet]"]
 
 
-class WormholeSim:
-    """Cycle-driven wormhole simulation of one routed network."""
+class ReferenceSim:
+    """Cycle-driven wormhole simulation of one routed network.
+
+    The reference interpreter: string-keyed, object-per-flit, and the
+    executable specification the compiled core is verified against.
+    """
 
     def __init__(
         self,
@@ -572,3 +588,99 @@ class WormholeSim:
         self.stats.in_order_violations = self._collect_violations()
         self.stats.cycles = self.cycle
         return self.stats
+
+
+class WormholeSim:
+    """Engine-dispatching facade over :class:`ReferenceSim` / ``SimCore``.
+
+    Keeps the constructor signature every experiment and test already
+    uses.  ``SimConfig.engine`` picks the step kernel:
+
+    * ``"auto"`` (default): the compiled core when the run only uses
+      features it supports, otherwise the reference interpreter;
+    * ``"compiled"``: force the compiled core; raises ``ValueError``
+      naming the unsupported features if any are requested;
+    * ``"reference"``: force the original interpreter.
+
+    The resolved name is exposed as :attr:`engine`; every other attribute
+    (``run``, ``step``, ``stats``, ``buffers``, ``drop_packet``, ...) is
+    delegated to the underlying engine, so the facade is transparent to
+    the recovery layer and the tests.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        tables: RoutingTable,
+        traffic: TrafficGenerator,
+        config: SimConfig | None = None,
+        vc_select: VcSelector | None = None,
+        fault: LinkFault | None = None,
+        trace: SimTrace | None = None,
+        route_override: RouteOverride | None = None,
+        on_deliver: OnDeliver | None = None,
+        failover: "FailoverPlan | None" = None,
+        recovery: "RecoveryManager | None" = None,
+    ) -> None:
+        cfg = config or SimConfig()
+        blockers: list[str] = []
+        if cfg.switching != "wormhole":
+            blockers.append(f"switching={cfg.switching!r}")
+        if vc_select is not None:
+            blockers.append("vc_select")
+        if route_override is not None:
+            blockers.append("route_override")
+        if on_deliver is not None:
+            blockers.append("on_deliver")
+        if fault is not None and not (
+            hasattr(fault, "events") and hasattr(fault, "is_down")
+        ):
+            blockers.append("non-FaultSchedule fault object")
+
+        engine = cfg.engine
+        if engine == "auto":
+            engine = "reference" if blockers else "compiled"
+        elif engine == "compiled" and blockers:
+            raise ValueError(
+                "engine='compiled' does not support: " + ", ".join(blockers)
+            )
+
+        if engine == "compiled":
+            from repro.sim.compile import SimCore
+
+            self._engine = SimCore(
+                net,
+                tables,
+                traffic,
+                cfg,
+                fault=fault,
+                trace=trace,
+                failover=failover,
+                recovery=recovery,
+            )
+        else:
+            self._engine = ReferenceSim(
+                net,
+                tables,
+                traffic,
+                cfg,
+                vc_select=vc_select,
+                fault=fault,
+                trace=trace,
+                route_override=route_override,
+                on_deliver=on_deliver,
+                failover=failover,
+                recovery=recovery,
+            )
+        #: resolved engine name: "compiled" or "reference"
+        self.engine = engine
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails; guard the attributes set
+        # in __init__ (and dunders probed by copy/pickle) against recursion.
+        if name.startswith("__") or name in ("_engine", "engine"):
+            raise AttributeError(name)
+        return getattr(self._engine, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WormholeSim engine={self.engine} cycle={self._engine.cycle}>"

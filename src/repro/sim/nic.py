@@ -3,6 +3,12 @@
 Sources serialize queued packets one flit per cycle onto their injection
 link; sinks consume at full rate (end nodes never back-pressure in this
 model) and verify ServerNet's in-order delivery contract per source.
+
+Both engines share these classes as-is: the compiled core
+(``repro.sim.compile``) reuses ``SourceState``/``SinkState`` unchanged —
+injection and delivery sit off the per-channel hot path, and sharing the
+objects keeps recovery's re-queue hooks and the in-order checks
+byte-for-byte identical across engines.
 """
 
 from __future__ import annotations

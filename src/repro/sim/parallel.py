@@ -185,6 +185,9 @@ class _MeasureTask:
     saturation_factor: float
     switching: str
     zero_load: float
+    # Engine selection travels with the task but never enters the seed:
+    # both engines are bit-identical, so results match either way.
+    engine: str = "auto"
 
 
 def _run_measure(task: _MeasureTask):
@@ -201,6 +204,7 @@ def _run_measure(task: _MeasureTask):
         task.zero_load,
         task.saturation_factor,
         task.switching,
+        task.engine,
     )
 
 
@@ -225,6 +229,7 @@ class _RecoveryTask:
     retry: Any
     reroute: Any
     failover: bool
+    engine: str = "auto"
 
 
 def _run_recovery(task: _RecoveryTask) -> dict[str, Any]:
@@ -244,6 +249,7 @@ def _run_recovery(task: _RecoveryTask) -> dict[str, Any]:
         retry=task.retry,
         reroute=task.reroute,
         failover=task.failover,
+        engine=task.engine,
     )
     result["failures"] = task.failures
     return result
@@ -350,6 +356,7 @@ class SweepRunner:
         seed: int = 1996,
         saturation_factor: float = 3.0,
         switching: str = "wormhole",
+        engine: str = "auto",
         label: str = "",
     ) -> list:
         """Measure every offered rate concurrently; order follows ``rates``.
@@ -373,6 +380,7 @@ class SweepRunner:
                 saturation_factor=saturation_factor,
                 switching=switching,
                 zero_load=zero,
+                engine=engine,
             )
             for rate in rates
         ]
@@ -395,6 +403,7 @@ class SweepRunner:
         retry: Any = None,
         reroute: Any = None,
         failover: bool = False,
+        engine: str = "auto",
         label: str = "",
     ) -> list[dict[str, Any]]:
         """One fault-recovery measurement per failure count, in parallel.
@@ -424,6 +433,7 @@ class SweepRunner:
                 retry=retry,
                 reroute=reroute,
                 failover=failover,
+                engine=engine,
             )
             for k in failure_counts
         ]

@@ -365,6 +365,7 @@ def simulate_with_recovery(
     drain: bool = True,
     stall_threshold: int = 400,
     cache: RoutingTableCache | None = None,
+    engine: str = "auto",
 ) -> dict[str, Any]:
     """One fault-recovery measurement: inject, fail, recover, account.
 
@@ -401,6 +402,7 @@ def simulate_with_recovery(
         retry=retry,
         reroute=reroute,
         seed=seed,
+        engine=engine,
     )
     plan = FailoverPlan(net, tables) if failover else None
     traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)

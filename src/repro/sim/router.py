@@ -5,6 +5,12 @@ resource contention is per *output*: one worm holds an output (virtual)
 channel from the cycle its head is switched until its tail passes.  Free
 outputs are granted to requesting heads round-robin, the classic fair
 arbiter.
+
+The reference engine mutates live ``OutputPort`` objects; the compiled
+core keeps (holder, round-robin index) in flat integer arrays and
+materializes ``OutputPort`` snapshots through its ``outputs`` property.
+Both arbitrate over channels in the same sorted order, which is what
+keeps their grant decisions bit-identical.
 """
 
 from __future__ import annotations

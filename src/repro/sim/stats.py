@@ -1,12 +1,94 @@
-"""Simulation statistics."""
+"""Simulation statistics.
+
+Latency distributions are held in :class:`LatencySeries`, a grow-only
+numpy ``int64`` buffer with list-like ergonomics: saturation sweeps append
+hundreds of thousands of samples, and an amortized-doubling array keeps
+that O(1) per sample without the per-element boxing of a Python list.
+Percentile/mean reductions then run directly on the backing array.
+:meth:`SimStats.merge` folds the stats of parallel sweep shards into one
+aggregate.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["SimStats"]
+__all__ = ["LatencySeries", "SimStats"]
+
+
+class LatencySeries:
+    """An append-only sequence of integer samples on a numpy buffer.
+
+    Behaves like the ``list[int]`` it replaces -- ``append``, ``len``,
+    iteration (yielding Python ints), indexing/slicing, equality against
+    lists/tuples -- while storing samples contiguously.  ``np.mean`` /
+    ``np.percentile`` consume it zero-copy through ``__array__``.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, values: Iterable[int] = ()) -> None:
+        self._buf = np.empty(16, dtype=np.int64)
+        self._n = 0
+        self.extend(values)
+
+    def append(self, value: int) -> None:
+        if self._n == len(self._buf):
+            self._buf = np.resize(self._buf, max(32, 2 * len(self._buf)))
+        self._buf[self._n] = value
+        self._n += 1
+
+    def extend(self, values: Iterable[int]) -> None:
+        arr = np.asarray(
+            values.to_array() if isinstance(values, LatencySeries) else list(values),
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            return
+        need = self._n + arr.size
+        if need > len(self._buf):
+            self._buf = np.resize(self._buf, max(need, 2 * len(self._buf)))
+        self._buf[self._n : need] = arr
+        self._n = need
+
+    def to_array(self) -> np.ndarray:
+        """The live samples as one contiguous ``int64`` view (no copy)."""
+        return self._buf[: self._n]
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        arr = self.to_array()
+        if dtype is not None and arr.dtype != np.dtype(dtype):
+            return arr.astype(dtype)
+        if copy:
+            return arr.copy()
+        return arr
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_array().tolist())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.to_array()[index].tolist()
+        return int(self.to_array()[index])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LatencySeries):
+            return np.array_equal(self.to_array(), other.to_array())
+        if isinstance(other, (list, tuple)):
+            return self.to_array().tolist() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencySeries({self.to_array().tolist()!r})"
 
 
 @dataclass
@@ -19,7 +101,7 @@ class SimStats:
     packets_delivered: int = 0
     flits_moved: int = 0
     flits_delivered: int = 0
-    latencies: list[int] = field(default_factory=list)
+    latencies: LatencySeries = field(default_factory=LatencySeries)
     link_flits: dict[str, int] = field(default_factory=dict)
     peak_occupied_buffers: int = 0
     deadlock_cycle: list[str] | None = None
@@ -33,7 +115,7 @@ class SimStats:
     #: packets retargeted to the second fabric after exhausting retries
     packets_failed_over: int = 0
     #: creation-to-second-fabric-delivery latencies of failed-over packets
-    failover_latencies: list[int] = field(default_factory=list)
+    failover_latencies: LatencySeries = field(default_factory=LatencySeries)
     #: flits physically removed from buffers/pipelines by worm cleanup
     flits_dropped: int = 0
     #: number of atomic routing-table swaps performed by online re-routing
@@ -58,7 +140,7 @@ class SimStats:
 
     @property
     def max_latency(self) -> int:
-        return max(self.latencies) if self.latencies else 0
+        return int(self.latencies.to_array().max()) if self.latencies else 0
 
     def throughput_flits_per_cycle(self) -> float:
         """Delivered flits per cycle (network-wide)."""
@@ -78,6 +160,41 @@ class SimStats:
         if not self.failover_latencies:
             return float("nan")
         return float(np.mean(self.failover_latencies))
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Fold another shard's stats into this one (in place).
+
+        Built for parallel sweeps that split one logical workload across
+        worker shards: counters add, distributions concatenate, per-link
+        flit counts add, and extrema (``cycles``, peak occupancy) take the
+        max.  A deadlock observed by either shard is kept (the first one
+        wins when both saw one).  Returns ``self`` for chaining.
+        """
+        self.cycles = max(self.cycles, other.cycles)
+        self.packets_offered += other.packets_offered
+        self.packets_injected += other.packets_injected
+        self.packets_delivered += other.packets_delivered
+        self.flits_moved += other.flits_moved
+        self.flits_delivered += other.flits_delivered
+        self.latencies.extend(other.latencies)
+        for link, count in other.link_flits.items():
+            self.link_flits[link] = self.link_flits.get(link, 0) + count
+        self.peak_occupied_buffers = max(
+            self.peak_occupied_buffers, other.peak_occupied_buffers
+        )
+        if self.deadlock_cycle is None and other.deadlock_cycle is not None:
+            self.deadlock_cycle = list(other.deadlock_cycle)
+            self.deadlock_at = other.deadlock_at
+        self.in_order_violations.extend(other.in_order_violations)
+        self.packets_retried += other.packets_retried
+        self.packets_dropped += other.packets_dropped
+        self.packets_failed_over += other.packets_failed_over
+        self.failover_latencies.extend(other.failover_latencies)
+        self.flits_dropped += other.flits_dropped
+        self.table_swaps += other.table_swaps
+        self.reconvergence_cycles.extend(other.reconvergence_cycles)
+        return self
 
     def recovery_summary(self) -> dict[str, float | int]:
         """The recovery counters as one plain dict (for experiment rows)."""

@@ -54,11 +54,14 @@ def measure_point(
     zero_load: float,
     factor: float,
     switching: str = "wormhole",
+    engine: str = "auto",
 ) -> LoadPoint:
     """Simulate one offered rate and classify it against the zero-load bar.
 
     Pure in all arguments (the traffic RNG is seeded here), which is what
     lets the parallel runner execute points in any process, in any order.
+    ``engine`` selects the simulator implementation only -- it never enters
+    the seed derivation, because both engines are bit-identical.
     """
     traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
     sim = WormholeSim(
@@ -70,6 +73,7 @@ def measure_point(
             raise_on_deadlock=False,
             stall_threshold=400,
             switching=switching,
+            engine=engine,
         ),
     )
     stats = sim.run(cycles, drain=False)
@@ -108,6 +112,7 @@ def latency_curve(
     saturation_factor: float = 3.0,
     switching: str = "wormhole",
     jobs: int = 1,
+    engine: str = "auto",
 ) -> list[LoadPoint]:
     """Measure steady-state latency at each offered rate.
 
@@ -125,6 +130,7 @@ def latency_curve(
         seed=seed,
         saturation_factor=saturation_factor,
         switching=switching,
+        engine=engine,
     )
 
 
@@ -142,6 +148,7 @@ def recovery_curve(
     reroute=None,
     failover: bool = False,
     jobs: int = 1,
+    engine: str = "auto",
 ) -> list[dict]:
     """Fault-recovery metrics at each failure count (see
     :func:`repro.sim.recovery.simulate_with_recovery`).
@@ -165,6 +172,7 @@ def recovery_curve(
             retry=retry,
             reroute=reroute,
             failover=failover,
+            engine=engine,
         )
 
 
@@ -178,6 +186,7 @@ def find_saturation(
     resolution: float = 0.002,
     max_rate: float = 0.5,
     switching: str = "wormhole",
+    engine: str = "auto",
 ) -> float:
     """Binary-search the offered rate where latency exceeds
     ``saturation_factor`` x the zero-load average.
@@ -204,6 +213,7 @@ def find_saturation(
             zero,
             saturation_factor,
             switching,
+            engine,
         ).saturated
 
     low, high = 0.0, max_rate

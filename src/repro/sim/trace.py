@@ -6,10 +6,16 @@ maximum event count.  Traces answer the debugging questions the aggregate
 stats cannot: *where was packet 17 at cycle 200?  which worm held the
 contested link?*  The text rendering doubles as a teaching aid for the
 Figure 1 walk-through.
+
+The bound is a **ring**: when the buffer is full the *oldest* event is
+evicted to make room for the new one, so a trace read after a long run
+shows the most recent window -- the part that explains the failure you are
+debugging -- with :attr:`SimTrace.dropped` counting the evicted prefix.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -31,22 +37,26 @@ class TraceEvent:
 
 
 class SimTrace:
-    """Bounded in-memory event log."""
+    """Bounded in-memory event log keeping the most recent events.
+
+    ``max_events`` caps memory; once exceeded, each new event evicts the
+    oldest one and bumps :attr:`dropped`.  Everything still present is in
+    time order, and ``dropped`` tells you how long the evicted prefix was.
+    """
 
     def __init__(self, max_events: int = 100_000) -> None:
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.max_events = max_events
-        self._events: list[TraceEvent] = []
+        self._events: deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped = 0
 
     # ------------------------------------------------------------------
     # recording (called by the simulator)
     # ------------------------------------------------------------------
     def record(self, cycle: int, kind: str, packet_id: int | None, where: str) -> None:
-        if len(self._events) >= self.max_events:
-            self.dropped += 1
-            return
+        if len(self._events) == self.max_events:
+            self.dropped += 1  # the append below evicts the oldest event
         self._events.append(TraceEvent(cycle, kind, packet_id, where))
 
     # ------------------------------------------------------------------
@@ -62,7 +72,7 @@ class SimTrace:
         return iter(self._events)
 
     def for_packet(self, packet_id: int) -> list[TraceEvent]:
-        """Every recorded event of one packet, in time order."""
+        """Every retained event of one packet, in time order."""
         return [e for e in self._events if e.packet_id == packet_id]
 
     def at_cycle(self, cycle: int) -> list[TraceEvent]:
@@ -85,10 +95,15 @@ class SimTrace:
 
     def render(self, packet_id: int | None = None, limit: int = 50) -> str:
         """Readable transcript (optionally filtered to one packet)."""
-        events = self.for_packet(packet_id) if packet_id is not None else self._events
+        if packet_id is not None:
+            events = self.for_packet(packet_id)
+        else:
+            events = list(self._events)
         lines = [str(e) for e in events[:limit]]
         if len(events) > limit:
             lines.append(f"... {len(events) - limit} more events")
         if self.dropped:
-            lines.append(f"... {self.dropped} events dropped (buffer full)")
+            lines.append(
+                f"... {self.dropped} older events dropped (ring buffer full)"
+            )
         return "\n".join(lines)

@@ -46,6 +46,9 @@ def merge_traffic(*generators: "TrafficGenerator") -> "TrafficGenerator":
             out.extend(gen(cycle))
         return out
 
+    bounds = [getattr(gen, "exhausted_after", None) for gen in generators]
+    if bounds and all(b is not None for b in bounds):
+        combined.exhausted_after = max(bounds)
     return combined
 
 
@@ -174,6 +177,10 @@ def explicit_traffic(
             for src, dst, size in by_cycle.get(cycle, ())
         ]
 
+    # Explicit schedules are finite and side-effect free past their last
+    # admission cycle, which lets the compiled engine fast-forward idle
+    # stretches without skipping offered packets.
+    generate.exhausted_after = max(by_cycle) if by_cycle else -1
     return generate
 
 

@@ -13,6 +13,8 @@ The contract under test (see ``repro/sim/recovery.py``):
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -281,9 +283,10 @@ class TestRecomputedTablesCertified:
     def test_recovery_tables_acyclic(self, name, k):
         topo, params = TABLE2_SPECS[name]
         net = build_topology(topo, **params)
-        schedule = random_cable_schedule(
-            net, k, np.random.default_rng(hash((name, k)) % 2**32)
-        )
+        # hash() is salted per process; derive a stable seed so the sampled
+        # cable schedule (and hence the pass/fail outcome) is reproducible.
+        seed = int.from_bytes(hashlib.sha256(f"{name}:{k}".encode()).digest()[:4], "big")
+        schedule = random_cable_schedule(net, k, np.random.default_rng(seed))
         down = schedule.down_links(0)
         recovered = recompute_recovery_tables(net, down)
         assert recovered.certified, f"{name} k={k}: {recovered.algorithm}"

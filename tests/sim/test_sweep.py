@@ -54,7 +54,7 @@ def _fake_measure(threshold):
     """A measure_point whose saturation is a step function of the rate."""
 
     def fake(net, tables, rate, cycles, packet_size, seed, zero_load, factor,
-             switching="wormhole"):
+             switching="wormhole", engine="auto"):
         return LoadPoint(
             offered_rate=rate,
             accepted_flits_per_node_cycle=rate,

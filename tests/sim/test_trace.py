@@ -62,6 +62,16 @@ def test_bounded_buffer_drops():
     assert "dropped" in trace.render()
 
 
+def test_ring_keeps_most_recent_events():
+    trace = SimTrace(max_events=3)
+    for cycle in range(5):
+        trace.record(cycle, "traverse", cycle, f"link{cycle}")
+    # oldest two evicted; the retained window is the most recent three
+    assert [e.cycle for e in trace.events()] == [2, 3, 4]
+    assert trace.dropped == 2
+    assert "2 older events dropped" in trace.render()
+
+
 def test_render_filters_and_limits():
     net = build()
     tables = dimension_order_tables(net)
