@@ -73,6 +73,33 @@ def _routing_for(net):
     return cached_tables(net)
 
 
+def _point_rows(points) -> list[dict[str, Any]]:
+    """Sweep results (LoadPoints or recovery dicts) as metrics rows."""
+    rows: list[dict[str, Any]] = []
+    for p in points:
+        if isinstance(p, dict):
+            rows.append({"kind": "point", **p})
+        else:
+            rows.append(
+                {
+                    "kind": "point",
+                    "offered_load": p.offered_rate,
+                    "accepted_flits_per_node_cycle": p.accepted_flits_per_node_cycle,
+                    "avg_latency": p.avg_latency,
+                    "p99_latency": p.p99_latency,
+                    "saturated": p.saturated,
+                }
+            )
+    return rows
+
+
+def _write_metrics_file(path: str, rows: list[dict[str, Any]]) -> None:
+    from repro.obs import write_metrics
+
+    write_metrics(path, rows)
+    print(f"wrote {len(rows)} metric row(s) to {path}")
+
+
 def cmd_experiments(_args) -> int:
     from repro.experiments.registry import experiment_names, get_experiment
 
@@ -94,6 +121,21 @@ def cmd_run(args) -> int:
         print(f"unknown experiment {unknown[0]!r}; try 'fractanet experiments'")
         return 1
     jobs = getattr(args, "jobs", 1)
+    if getattr(args, "metrics_out", None):
+        # Metrics mode: run through the registry so every result carries
+        # its manifest, and export manifests + canonical rows per driver.
+        config = ExperimentConfig(jobs=jobs)
+        rows: list[dict[str, Any]] = []
+        for name in names:
+            result = get_experiment(name).run(config)
+            if result.manifest is not None:
+                rows.append(result.manifest)
+            rows.extend(
+                {"kind": "row", "experiment": name, **r} for r in result.rows()
+            )
+            print(f"{name}: {len(result.rows())} result row(s)")
+        _write_metrics_file(args.metrics_out, rows)
+        return 0
     if jobs > 1 and len(names) > 1:
         # Whole experiments are the unit of parallelism for `run all`.
         from repro.sim.parallel import SweepRunner
@@ -114,12 +156,15 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Latency curve / saturation search through the parallel runner."""
+    import time
+
     from repro.sim.parallel import SweepRunner
     from repro.sim.sweep import find_saturation
 
     net = _build(args.topology, args.param)
     tables = _routing_for(net)
     runner = SweepRunner(args.jobs)
+    start = time.perf_counter()
     if args.faults:
         # recovery sweep: one fail/repair episode per failure count
         retry, reroute = _recovery_policies(args)
@@ -147,6 +192,25 @@ def cmd_sweep(args) -> int:
                 + ("" if p["recovered_acyclic"] else "  [UNCERTIFIED]")
             )
         print(runner.stats.report(per_task=args.verbose))
+        if args.metrics_out:
+            from repro.obs import run_manifest
+            from repro.sim.engine import SimConfig
+
+            manifest = run_manifest(
+                net,
+                SimConfig(retry=retry, reroute=reroute, seed=args.seed),
+                engine=args.engine,
+                jobs=args.jobs,
+                wall_seconds=time.perf_counter() - start,
+                command="sweep",
+                rate=args.rate,
+                cycles=args.cycles,
+                failure_counts=list(counts),
+            )
+            _write_metrics_file(
+                args.metrics_out,
+                [manifest] + _point_rows(points) + runner.metrics.rows(),
+            )
         return 0
     rates = tuple(float(r) for r in args.rates.split(","))
     points = runner.latency_curve(
@@ -154,8 +218,10 @@ def cmd_sweep(args) -> int:
         rates,
         cycles=args.cycles,
         packet_size=args.packet_size,
+        seed=args.seed,
         switching=args.switching,
         engine=args.engine,
+        sample_interval=args.sample_interval,
     )
     print(f"{net.name} ({args.switching}):")
     print("  offered   accepted    avg lat    p99 lat")
@@ -176,6 +242,36 @@ def cmd_sweep(args) -> int:
         )
         print(f"  saturation rate: {sat:.4f} flits/node/cycle")
     print(runner.stats.report(per_task=args.verbose))
+    if args.metrics_out:
+        from repro.obs import run_manifest
+        from repro.sim.engine import SimConfig
+
+        manifest = run_manifest(
+            net,
+            SimConfig(
+                buffer_depth=max(
+                    4, args.packet_size if args.switching == "store_and_forward" else 4
+                ),
+                raise_on_deadlock=False,
+                stall_threshold=400,
+                switching=args.switching,
+                seed=args.seed,
+            ),
+            engine=args.engine,
+            jobs=args.jobs,
+            sample_interval=args.sample_interval,
+            wall_seconds=time.perf_counter() - start,
+            command="sweep",
+            rates=list(rates),
+            cycles=args.cycles,
+        )
+        _write_metrics_file(
+            args.metrics_out,
+            [manifest]
+            + _point_rows(points)
+            + runner.sample_rows
+            + runner.metrics.rows(),
+        )
     return 0
 
 
@@ -270,13 +366,82 @@ def cmd_certify(args) -> int:
     return 0 if result.certified else 1
 
 
+def _simulate_metrics(args, net, config, point, probe, wall) -> None:
+    """Write `simulate`'s manifest + point + timeline rows to --metrics-out."""
+    from repro.obs import run_manifest
+
+    rows = [
+        run_manifest(
+            net,
+            config,
+            engine=args.engine,
+            jobs=1,
+            sample_interval=args.sample_interval,
+            wall_seconds=wall,
+            command="simulate",
+            rate=args.rate,
+            cycles=args.cycles,
+        )
+    ]
+    rows.extend(_point_rows([point]))
+    if probe is not None:
+        rows.extend(probe.timeline_rows(rate=args.rate))
+    _write_metrics_file(args.metrics_out, rows)
+
+
+def _check_parity_recovery(args, net, tables, retry, reroute) -> int:
+    """Recovery-path parity: the full result dict must match across engines."""
+    from repro.sim.recovery import simulate_with_recovery
+
+    results = {}
+    for engine in ("reference", "compiled"):
+        results[engine] = simulate_with_recovery(
+            net,
+            tables,
+            rate=args.rate,
+            cycles=args.cycles,
+            packet_size=args.packet_size,
+            seed=args.seed,
+            faults=args.faults,
+            repair_cycle=args.repair_cycle,
+            retry=retry,
+            reroute=reroute,
+            failover=args.failover,
+            engine=engine,
+        )
+    ref, com = results["reference"], results["compiled"]
+    diffs = [
+        f"  {k}: reference={ref.get(k)!r} compiled={com.get(k)!r}"
+        for k in sorted(set(ref) | set(com))
+        if ref.get(k) != com.get(k)
+    ]
+    if diffs:
+        print("COUNTER PARITY FAILED (recovery path):")
+        print("\n".join(diffs))
+        return 1
+    print(f"counter parity OK: {len(ref)} recovery result fields identical")
+    return 0
+
+
 def cmd_simulate(args) -> int:
+    import time
+
+    from repro.sim.engine import SimConfig
+
     net = _build(args.topology, args.param)
     tables = _routing_for(net)
     retry, reroute = _recovery_policies(args)
+    probe = None
+    if args.sample_interval:
+        from repro.obs import SimProbe
+
+        probe = SimProbe(args.sample_interval)
+    start = time.perf_counter()
     if args.faults or retry or reroute or args.failover:
         from repro.sim.recovery import simulate_with_recovery
 
+        if args.check_parity:
+            return _check_parity_recovery(args, net, tables, retry, reroute)
         r = simulate_with_recovery(
             net,
             tables,
@@ -290,6 +455,7 @@ def cmd_simulate(args) -> int:
             reroute=reroute,
             failover=args.failover,
             engine=args.engine,
+            probe=probe,
         )
         print(
             f"{net.name} @ rate {args.rate} with {args.faults} cable fault(s): "
@@ -310,7 +476,42 @@ def cmd_simulate(args) -> int:
         if r["failed_over"]:
             print(f"  failover latency avg: {r['failover_latency_avg']:.1f} cycles")
         print(f"  post-recovery delivery: {r['post_recovery_rate'] * 100:.2f}%")
+        if args.metrics_out:
+            _simulate_metrics(
+                args,
+                net,
+                SimConfig(retry=retry, reroute=reroute, seed=args.seed),
+                r,
+                probe,
+                time.perf_counter() - start,
+            )
         return 0 if not r["deadlocked"] else 1
+    if args.check_parity:
+        from repro.obs import CounterParityError, assert_counter_parity
+        from repro.sim.traffic import uniform_traffic
+
+        try:
+            sig = assert_counter_parity(
+                net,
+                tables,
+                lambda: uniform_traffic(
+                    net.end_node_ids(), args.rate, args.packet_size, args.seed
+                ),
+                SimConfig(
+                    buffer_depth=4, raise_on_deadlock=False, stall_threshold=200
+                ),
+                cycles=args.cycles,
+                drain=False,
+            )
+        except CounterParityError as exc:
+            print("COUNTER PARITY FAILED:")
+            for diff in exc.diffs[:40]:
+                print(f"  {diff}")
+            if len(exc.diffs) > 40:
+                print(f"  ... and {len(exc.diffs) - 40} more")
+            return 1
+        print(f"counter parity OK: {len(sig)} signature fields identical")
+        return 0
     from repro.experiments.future_simulation import simulate_load_point
 
     point = simulate_load_point(
@@ -319,7 +520,9 @@ def cmd_simulate(args) -> int:
         rate=args.rate,
         cycles=args.cycles,
         packet_size=args.packet_size,
+        seed=args.seed,
         engine=args.engine,
+        probe=probe,
     )
     print(
         f"{net.name} @ rate {args.rate}: accepted "
@@ -327,6 +530,43 @@ def cmd_simulate(args) -> int:
         f"avg latency {point['avg_latency']:.1f}, p99 {point['p99_latency']:.1f}"
         + (" DEADLOCK" if point["deadlocked"] else "")
     )
+    if args.metrics_out:
+        _simulate_metrics(
+            args,
+            net,
+            SimConfig(
+                buffer_depth=4,
+                raise_on_deadlock=False,
+                stall_threshold=200,
+                seed=args.seed,
+            ),
+            point,
+            probe,
+            time.perf_counter() - start,
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render or diff metrics files written by ``--metrics-out``."""
+    from repro.obs import diff_metrics, read_metrics, render_report
+
+    rows = read_metrics(args.file)
+    if args.diff:
+        other = read_metrics(args.diff)
+        diffs = diff_metrics(rows, other)
+        if diffs:
+            print(f"metrics differ ({args.file} vs {args.diff}):")
+            for line in diffs[:40]:
+                print(f"  {line}")
+            if len(diffs) > 40:
+                print(f"  ... and {len(diffs) - 40} more")
+            return 1
+        print(
+            f"metrics identical (deterministic view): {args.file} == {args.diff}"
+        )
+        return 0
+    print(render_report(rows))
     return 0
 
 
@@ -373,6 +613,8 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("experiment")
     run_p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan independent tasks over N worker processes")
+    run_p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write manifests + result rows as JSONL/CSV")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser(
@@ -400,6 +642,12 @@ def main(argv: list[str] | None = None) -> int:
                               "instead of a latency curve")
     sweep_p.add_argument("--rate", type=float, default=0.05,
                          help="offered rate for the recovery sweep")
+    sweep_p.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write manifest, points, samples and counters "
+                              "as JSONL/CSV")
+    sweep_p.add_argument("--sample-interval", type=int, default=0, metavar="CYC",
+                         help="sample link utilization / buffer occupancy every "
+                              "CYC cycles (0 = off)")
     _add_recovery_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
@@ -429,8 +677,26 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--engine", default="auto",
                            choices=("auto", "compiled", "reference"),
                            help="simulator engine (both are bit-identical)")
+            p.add_argument("--metrics-out", metavar="FILE", default=None,
+                           help="write manifest, point and samples as JSONL/CSV")
+            p.add_argument("--sample-interval", type=int, default=0,
+                           metavar="CYC",
+                           help="sample link utilization / buffer occupancy "
+                                "every CYC cycles (0 = off)")
+            p.add_argument("--check-parity", action="store_true",
+                           help="run both engines and assert every counter "
+                                "matches (debug / CI smoke)")
             _add_recovery_flags(p)
         p.set_defaults(func=fn)
+
+    report_p = sub.add_parser(
+        "report", help="summarize or diff a --metrics-out file"
+    )
+    report_p.add_argument("file", help="metrics file (.jsonl or .csv)")
+    report_p.add_argument("--diff", metavar="OTHER", default=None,
+                          help="compare deterministic views; exit 1 on any "
+                               "difference")
+    report_p.set_defaults(func=cmd_report)
 
     inspect_p = sub.add_parser("inspect", help="load and certify a saved fabric")
     inspect_p.add_argument("file")

@@ -76,6 +76,7 @@ def simulate_load_point(
     packet_size: int = 8,
     seed: int = 1996,
     engine: str = "auto",
+    probe=None,
 ) -> dict:
     """One point of the latency/throughput curve.
 
@@ -97,6 +98,7 @@ def simulate_load_point(
             stall_threshold=200,
             engine=engine,
         ),
+        probe=probe,
     )
     stats = sim.run(cycles, drain=False)
     sim.finalize()

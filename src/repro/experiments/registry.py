@@ -68,15 +68,16 @@ class ExperimentResult:
     name: str
     data: Any
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    #: provenance record (seeds, knobs, wall time) stamped by the runner;
+    #: see :func:`repro.obs.manifest.experiment_manifest`
+    manifest: dict[str, Any] | None = None
 
     def to_json(self, indent: int | None = 1) -> str:
         """Machine-readable artifact (sorted keys, so diffs are stable)."""
-        return json.dumps(
-            {"experiment": self.name, "data": self.data},
-            indent=indent,
-            sort_keys=True,
-            default=str,
-        )
+        doc: dict[str, Any] = {"experiment": self.name, "data": self.data}
+        if self.manifest is not None:
+            doc["manifest"] = self.manifest
+        return json.dumps(doc, indent=indent, sort_keys=True, default=str)
 
     def rows(self) -> list[dict[str, Any]]:
         """The result as a list of flat records.
@@ -130,11 +131,24 @@ class ModuleExperiment:
         return (self.module.__doc__ or "").strip().splitlines()[0]
 
     def run(self, config: ExperimentConfig | None = None) -> ExperimentResult:
+        import time
+
+        from repro.obs.manifest import experiment_manifest
+
         config = config or ExperimentConfig()
         kwargs = dict(config.params)
         if config.jobs > 1 and _accepts(self.module.run, "jobs"):
             kwargs.setdefault("jobs", config.jobs)
-        return ExperimentResult(self.name, self.module.run(**kwargs), config)
+        start = time.perf_counter()
+        data = self.module.run(**kwargs)
+        manifest = experiment_manifest(
+            self.name,
+            config,
+            time.perf_counter() - start,
+            jobs=config.jobs,
+            params={k: repr(v) for k, v in sorted(config.params.items())},
+        )
+        return ExperimentResult(self.name, data, config, manifest=manifest)
 
     def report(self, config: ExperimentConfig | None = None) -> str:
         config = config or ExperimentConfig()

@@ -1,0 +1,62 @@
+"""Observability: metrics, samplers, run manifests and engine parity.
+
+The simulator's claims (Table 2 contention, saturation rates, recovery
+curves) are only as trustworthy as its counters, and the compiled /
+reference engine pair is only safe while every counter stays
+bit-identical.  This package is the layer that makes both *visible*:
+
+* :mod:`repro.obs.metrics` -- :class:`MetricRegistry` with counters,
+  gauges, histograms and span-style phase timing; shard registries fold
+  with :meth:`MetricRegistry.merge`.
+* :mod:`repro.obs.probe` -- :class:`SimProbe`, the periodic sampler both
+  engines publish into: per-link utilization and buffer-occupancy
+  timelines at a configurable ``sample_interval`` (off by default; the
+  hot path pays one ``is None`` test per cycle when disabled).
+* :mod:`repro.obs.manifest` -- the run manifest (SimConfig, seeds,
+  engine, topology fingerprint, wall time) attached to every
+  :class:`~repro.experiments.registry.ExperimentResult` and metrics file.
+* :mod:`repro.obs.export` -- JSONL/CSV writers, the ``fractanet report``
+  renderer, and the deterministic-view diff CI uses to prove metrics are
+  bit-identical across engines and job counts.
+* :mod:`repro.obs.parity` -- the cross-engine counter-parity assertion:
+  run both engines on identical inputs and compare *every*
+  :class:`~repro.sim.stats.SimStats` field, per-link flit maps, packet
+  timestamps and recovery counters.
+"""
+
+from repro.obs.export import (
+    deterministic_view,
+    diff_metrics,
+    read_metrics,
+    render_report,
+    write_metrics,
+)
+from repro.obs.manifest import experiment_manifest, run_manifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, Span
+from repro.obs.parity import (
+    CounterParityError,
+    assert_counter_parity,
+    compare_signatures,
+    stats_signature,
+)
+from repro.obs.probe import SimProbe
+
+__all__ = [
+    "Counter",
+    "CounterParityError",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SimProbe",
+    "Span",
+    "assert_counter_parity",
+    "compare_signatures",
+    "deterministic_view",
+    "diff_metrics",
+    "experiment_manifest",
+    "read_metrics",
+    "render_report",
+    "run_manifest",
+    "stats_signature",
+    "write_metrics",
+]

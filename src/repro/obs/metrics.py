@@ -1,0 +1,215 @@
+"""Counters, gauges, histograms and phase spans behind one registry.
+
+The shapes follow the Prometheus vocabulary because that is what every
+reader already knows, but the implementation is deliberately tiny and
+deterministic: metrics live in plain Python objects, export as sorted
+rows, and two registries fold with :meth:`MetricRegistry.merge` -- which
+is what lets the parallel sweep runner aggregate per-shard observations
+without caring which worker produced them.
+
+Determinism contract: everything except :class:`Span` durations and the
+registry's wall-clock bookkeeping is a pure function of the simulated
+work, so exported rows diff clean across engines and job counts (spans
+are excluded from :func:`repro.obs.export.deterministic_view`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "Span"]
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, flits, cache hits)."""
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def row(self) -> dict[str, Any]:
+        return {"kind": "counter", "name": self.name, **self.labels, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (queue depth, entries resident, workers)."""
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def row(self) -> dict[str, Any]:
+        return {"kind": "gauge", "name": self.name, **self.labels, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Count / sum / min / max plus power-of-two bucket counts.
+
+    Buckets are ``value < 2**i`` for ``i`` in ``0..30`` (the last bucket
+    is the overflow), which keeps the layout fixed -- two histograms from
+    different shards always merge bucket-by-bucket.
+    """
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+    buckets: list[int] = field(default_factory=lambda: [0] * 31)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        b = 0
+        while b < 30 and value >= (1 << b):
+            b += 1
+        self.buckets[b] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def row(self) -> dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            **self.labels,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+        }
+
+
+@dataclass
+class Span:
+    """One timed phase (table build / simulate / merge).
+
+    ``seconds`` is wall time and therefore *not* part of the
+    deterministic view; ``count`` makes folded spans legible ("simulate:
+    8 tasks, 3.1s").
+    """
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+    count: int = 0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.seconds += seconds
+        self.count += count
+
+    def row(self) -> dict[str, Any]:
+        return {
+            "kind": "span",
+            "name": self.name,
+            **self.labels,
+            "seconds": round(self.seconds, 6),
+            "count": self.count,
+        }
+
+
+class MetricRegistry:
+    """One namespace of metrics, with get-or-create accessors.
+
+    Accessors are idempotent: ``registry.counter("flits", link="l3")``
+    returns the same :class:`Counter` every call, so instrumentation
+    sites never coordinate.  Export order is (kind, name, labels)-sorted,
+    never insertion order, so two registries that observed the same work
+    produce identical rows.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, tuple], Any] = {}
+
+    # -- accessors ------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", Histogram, name, labels)
+
+    def span_metric(self, name: str, **labels: Any) -> Span:
+        return self._get("span", Span, name, labels)
+
+    def _get(self, kind: str, cls, name: str, labels: dict[str, Any]):
+        key = (kind, name, _label_key(labels))
+        got = self._metrics.get(key)
+        if got is None:
+            got = self._metrics[key] = cls(name=name, labels=dict(labels))
+        return got
+
+    # -- span timing ----------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **labels: Any) -> Iterator[Span]:
+        """Time a phase: ``with registry.span("simulate"): ...``."""
+        metric = self.span_metric(name, **labels)
+        start = time.perf_counter()
+        try:
+            yield metric
+        finally:
+            metric.add(time.perf_counter() - start)
+
+    # -- folding and export --------------------------------------------
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold another registry (a shard's) into this one, in place."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                kind, name, _ = key
+                cls = type(metric)
+                mine = self._metrics[key] = cls(name=name, labels=dict(metric.labels))
+            if isinstance(metric, Counter):
+                mine.value += metric.value
+            elif isinstance(metric, Gauge):
+                mine.value = metric.value  # last writer wins, like a scrape
+            elif isinstance(metric, Histogram):
+                mine.count += metric.count
+                mine.total += metric.total
+                if metric.min is not None:
+                    mine.min = metric.min if mine.min is None else min(mine.min, metric.min)
+                if metric.max is not None:
+                    mine.max = metric.max if mine.max is None else max(mine.max, metric.max)
+                mine.buckets = [a + b for a, b in zip(mine.buckets, metric.buckets)]
+            elif isinstance(metric, Span):
+                mine.add(metric.seconds, metric.count)
+        return self
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Every metric as one flat record, in a stable sorted order."""
+        return [self._metrics[key].row() for key in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricRegistry {len(self._metrics)} metrics>"

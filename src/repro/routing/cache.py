@@ -248,7 +248,12 @@ class RoutingTableCache:
                 self._build_cost[k] = elapsed
             else:
                 self.stats.hits += 1
-                self.stats.seconds_saved += self._build_cost.get(k, 0.0)
+                # The winner records _build_cost[k] under this same lock
+                # before publishing the entry, but never credit a silent
+                # 0.0 if that invariant ever slips: this thread just built
+                # the identical tables, so its own elapsed is an exact
+                # stand-in for the cost the hit skipped.
+                self.stats.seconds_saved += self._build_cost.setdefault(k, elapsed)
             return winner
 
     def get_or_lower(self, net: Network, tables: RoutingTable, vc_count: int = 1) -> LoweredTable:

@@ -64,6 +64,7 @@ from repro.sim.router import OutputPort
 from repro.sim.stats import SimStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.probe import SimProbe
     from repro.sim.fault import FaultSchedule
     from repro.sim.recovery import FailoverPlan, RecoveryManager
     from repro.sim.trace import SimTrace
@@ -187,6 +188,7 @@ class SimCore:
         trace: "SimTrace | None" = None,
         failover: "FailoverPlan | None" = None,
         recovery: "RecoveryManager | None" = None,
+        probe: "SimProbe | None" = None,
     ) -> None:
         self.net = net
         self.tables = tables
@@ -196,6 +198,7 @@ class SimCore:
             raise ValueError("SimCore only implements wormhole switching")
         self.fault = fault
         self.trace = trace
+        self.probe = probe
         self.vc_select = None
         self.route_override = None
         self.on_deliver = None
@@ -333,6 +336,7 @@ class SimCore:
         """
         if (
             self.recovery is not None
+            or self.probe is not None  # cycle-exact sampling: run every cycle
             or self._pipe
             or self._fault_ptr < len(self._fault_events)
         ):
@@ -619,6 +623,8 @@ class SimCore:
         self.cycle = cycle + 1
         stats.cycles = cycle + 1
         self._last_moved = moved
+        if self.probe is not None and self.probe.due(self.cycle):
+            self.probe.sample(self)
 
     # ------------------------------------------------------------------
     def _slow_route(self, ch: int, pid: int) -> int:
@@ -799,6 +805,18 @@ class SimCore:
         for li, n in enumerate(self._lf):
             if n:
                 link_flits[link_ids[li]] = n
+
+    # ------------------------------------------------------------------
+    # observability surface (see repro.obs.probe)
+    # ------------------------------------------------------------------
+    def link_flit_snapshot(self) -> dict[str, int]:
+        """Cumulative flits per link id, as an owned copy (no flush)."""
+        link_ids = self._cn.link_ids
+        return {link_ids[li]: n for li, n in enumerate(self._lf) if n}
+
+    def occupied_buffer_count(self) -> int:
+        """Input FIFOs currently holding at least one flit."""
+        return len(self._occ)
 
     # ------------------------------------------------------------------
     # reference-shaped snapshot views (read-only by construction)

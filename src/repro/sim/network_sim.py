@@ -44,6 +44,7 @@ from repro.sim.engine import DeadlockDetected, SimConfig
 from repro.sim.fault import LinkFault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.probe import SimProbe
     from repro.sim.recovery import FailoverPlan, RecoveryManager
 from repro.sim.link import ChannelBuffer
 from repro.sim.nic import SinkState, SourceState
@@ -91,6 +92,7 @@ class ReferenceSim:
         on_deliver: OnDeliver | None = None,
         failover: "FailoverPlan | None" = None,
         recovery: "RecoveryManager | None" = None,
+        probe: "SimProbe | None" = None,
     ) -> None:
         self.net = net
         self.tables = tables
@@ -101,6 +103,7 @@ class ReferenceSim:
         self.trace = trace
         self.route_override = route_override
         self.on_deliver = on_deliver
+        self.probe = probe
         self.stats = SimStats()
         self.cycle = 0
 
@@ -386,6 +389,8 @@ class ReferenceSim:
                 self._detect_deadlock(blocked)
         self.cycle += 1
         self.stats.cycles = self.cycle
+        if self.probe is not None and self.probe.due(self.cycle):
+            self.probe.sample(self)
 
     # ------------------------------------------------------------------
     def _route_head(self, in_key: tuple[str, int], flit: Flit) -> tuple[str, int]:
@@ -577,6 +582,17 @@ class ReferenceSim:
         if self.trace is not None:
             self.trace.record(self.cycle, "reroute", None, f"swap #{self.stats.table_swaps}")
 
+    # ------------------------------------------------------------------
+    # observability surface (see repro.obs.probe)
+    # ------------------------------------------------------------------
+    def link_flit_snapshot(self) -> dict[str, int]:
+        """Cumulative flits per link id, as an owned copy."""
+        return dict(self.stats.link_flits)
+
+    def occupied_buffer_count(self) -> int:
+        """Input FIFOs currently holding at least one flit."""
+        return len(self._occupied)
+
     def _collect_violations(self) -> list[str]:
         out: list[str] = []
         for sink in self.sinks.values():
@@ -621,6 +637,7 @@ class WormholeSim:
         on_deliver: OnDeliver | None = None,
         failover: "FailoverPlan | None" = None,
         recovery: "RecoveryManager | None" = None,
+        probe: "SimProbe | None" = None,
     ) -> None:
         cfg = config or SimConfig()
         blockers: list[str] = []
@@ -657,6 +674,7 @@ class WormholeSim:
                 trace=trace,
                 failover=failover,
                 recovery=recovery,
+                probe=probe,
             )
         else:
             self._engine = ReferenceSim(
@@ -671,6 +689,7 @@ class WormholeSim:
                 on_deliver=on_deliver,
                 failover=failover,
                 recovery=recovery,
+                probe=probe,
             )
         #: resolved engine name: "compiled" or "reference"
         self.engine = engine

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.network.graph import Network
+from repro.obs.metrics import MetricRegistry
 from repro.routing.base import RoutingTable
 from repro.routing.cache import cached_tables
 
@@ -188,6 +189,10 @@ class _MeasureTask:
     # Engine selection travels with the task but never enters the seed:
     # both engines are bit-identical, so results match either way.
     engine: str = "auto"
+    # Probe sampling period in cycles; 0 = no in-run sampling.  Like the
+    # engine, it never enters the seed: samples observe the run, they do
+    # not perturb it.
+    sample_interval: int = 0
 
 
 def _run_measure(task: _MeasureTask):
@@ -206,6 +211,36 @@ def _run_measure(task: _MeasureTask):
         task.switching,
         task.engine,
     )
+
+
+def _run_measure_observed(task: _MeasureTask) -> dict[str, Any]:
+    """Like :func:`_run_measure`, plus the probe's timeline rows.
+
+    The probe is created *inside* the worker and its rows travel back with
+    the point, so sample streams attach to their point regardless of which
+    process ran it -- the runner reassembles them in submission order,
+    keeping ``jobs=N`` output bit-identical to ``jobs=1``.
+    """
+    from repro.obs.probe import SimProbe
+    from repro.sim.sweep import measure_point
+
+    net, tables = resolve_target(task.target)
+    probe = SimProbe(task.sample_interval) if task.sample_interval else None
+    point = measure_point(
+        net,
+        tables,
+        task.rate,
+        task.cycles,
+        task.packet_size,
+        task.seed,
+        task.zero_load,
+        task.saturation_factor,
+        task.switching,
+        task.engine,
+        probe=probe,
+    )
+    samples = probe.timeline_rows(rate=task.rate) if probe is not None else []
+    return {"point": point, "samples": samples}
 
 
 @dataclass(frozen=True)
@@ -291,6 +326,12 @@ class SweepRunner:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.stats = SweepStats(jobs=jobs)
+        #: phase timing (table build / simulate / merge) and sweep counters;
+        #: export via ``self.metrics.rows()`` (see repro.obs.metrics)
+        self.metrics = MetricRegistry()
+        #: probe timeline rows collected by sampled sweeps, in submission
+        #: order (see ``latency_curve(sample_interval=...)``)
+        self.sample_rows: list[dict[str, Any]] = []
 
     def _executor(self) -> ProcessPoolExecutor:
         # One pool for the runner's lifetime: workers stay warm, so
@@ -358,17 +399,25 @@ class SweepRunner:
         switching: str = "wormhole",
         engine: str = "auto",
         label: str = "",
+        sample_interval: int = 0,
     ) -> list:
         """Measure every offered rate concurrently; order follows ``rates``.
 
         Each rate's task seed is ``derive_seed(seed, "rate", repr(rate),
         "switching", switching)`` -- a function of the point's identity
         only, so any subset of the same grid reproduces the same points.
+
+        ``sample_interval > 0`` attaches a :class:`repro.obs.SimProbe` to
+        every point's simulation; the per-link utilization timelines land
+        on :attr:`sample_rows` in submission order (bit-identical across
+        job counts and engines).  Phase timing (table build / simulate /
+        merge) folds into :attr:`metrics` either way.
         """
         from repro.sim.sweep import _zero_load_latency
 
-        net, tables = resolve_target(target)
-        zero = _zero_load_latency(net, tables, packet_size)
+        with self.metrics.span("table_build"):
+            net, tables = resolve_target(target)
+            zero = _zero_load_latency(net, tables, packet_size)
         name = label or net.name
         tasks = [
             _MeasureTask(
@@ -381,14 +430,26 @@ class SweepRunner:
                 switching=switching,
                 zero_load=zero,
                 engine=engine,
+                sample_interval=sample_interval,
             )
             for rate in rates
         ]
-        return self.map(
-            _run_measure,
-            tasks,
-            labels=[f"{name} {switching} rate={r:g}" for r in rates],
-        )
+        labels = [f"{name} {switching} rate={r:g}" for r in rates]
+        self.metrics.counter("sweep_points", sweep=name).inc(len(tasks))
+        if not sample_interval:
+            with self.metrics.span("simulate"):
+                return self.map(_run_measure, tasks, labels=labels)
+        with self.metrics.span("simulate"):
+            observed = self.map(_run_measure_observed, tasks, labels=labels)
+        with self.metrics.span("merge"):
+            points = []
+            for bundle in observed:
+                points.append(bundle["point"])
+                self.sample_rows.extend(bundle["samples"])
+            self.metrics.counter("probe_samples", sweep=name).inc(
+                sum(len(b["samples"]) for b in observed)
+            )
+        return points
 
     def recovery_curve(
         self,

@@ -366,6 +366,7 @@ def simulate_with_recovery(
     stall_threshold: int = 400,
     cache: RoutingTableCache | None = None,
     engine: str = "auto",
+    probe: Any = None,
 ) -> dict[str, Any]:
     """One fault-recovery measurement: inject, fail, recover, account.
 
@@ -413,7 +414,9 @@ def simulate_with_recovery(
         net, tables, retry=retry, reroute=reroute, fault=fault, failover=plan,
         cache=cache,
     )
-    sim = WormholeSim(net, tables, traffic, config, fault=fault, recovery=manager)
+    sim = WormholeSim(
+        net, tables, traffic, config, fault=fault, recovery=manager, probe=probe
+    )
     stats = sim.run(cycles, drain=drain)
     sim.finalize()
 

@@ -168,8 +168,9 @@ class SimStats:
         Built for parallel sweeps that split one logical workload across
         worker shards: counters add, distributions concatenate, per-link
         flit counts add, and extrema (``cycles``, peak occupancy) take the
-        max.  A deadlock observed by either shard is kept (the first one
-        wins when both saw one).  Returns ``self`` for chaining.
+        max.  A deadlock observed by either shard is kept; when both saw
+        one, the *earliest* ``deadlock_at`` wins, so folding shards in any
+        order produces the same aggregate.  Returns ``self`` for chaining.
         """
         self.cycles = max(self.cycles, other.cycles)
         self.packets_offered += other.packets_offered
@@ -183,7 +184,13 @@ class SimStats:
         self.peak_occupied_buffers = max(
             self.peak_occupied_buffers, other.peak_occupied_buffers
         )
-        if self.deadlock_cycle is None and other.deadlock_cycle is not None:
+        if other.deadlock_cycle is not None and (
+            self.deadlock_cycle is None
+            or (
+                other.deadlock_at is not None
+                and (self.deadlock_at is None or other.deadlock_at < self.deadlock_at)
+            )
+        ):
             self.deadlock_cycle = list(other.deadlock_cycle)
             self.deadlock_at = other.deadlock_at
         self.in_order_violations.extend(other.in_order_violations)

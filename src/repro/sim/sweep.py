@@ -55,13 +55,21 @@ def measure_point(
     factor: float,
     switching: str = "wormhole",
     engine: str = "auto",
+    probe=None,
 ) -> LoadPoint:
     """Simulate one offered rate and classify it against the zero-load bar.
 
     Pure in all arguments (the traffic RNG is seeded here), which is what
     lets the parallel runner execute points in any process, in any order.
     ``engine`` selects the simulator implementation only -- it never enters
-    the seed derivation, because both engines are bit-identical.
+    the seed derivation, because both engines are bit-identical.  ``probe``
+    optionally attaches a :class:`repro.obs.SimProbe` for in-run sampling.
+
+    Every reported figure uses the same post-warmup window: latency comes
+    from packets created at or after ``cycles // 5``, and accepted load
+    counts exactly those packets' flits over the remaining cycles (the
+    whole-run average would fold the warmup ramp into the steady state and
+    understate accepted throughput near saturation).
     """
     traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
     sim = WormholeSim(
@@ -75,19 +83,23 @@ def measure_point(
             switching=switching,
             engine=engine,
         ),
+        probe=probe,
     )
-    stats = sim.run(cycles, drain=False)
+    sim.run(cycles, drain=False)
     warmup = cycles // 5
-    steady = [
-        p.latency
+    steady_pkts = [
+        p
         for p in sim.packets.values()
         if p.delivered is not None and p.created >= warmup
     ]
+    steady = [p.latency for p in steady_pkts]
     avg = float(np.mean(steady)) if steady else float("inf")
     p99 = float(np.percentile(steady, 99)) if steady else float("inf")
+    steady_flits = sum(p.size for p in steady_pkts)
+    window = max(1, cycles - warmup)
     return LoadPoint(
         offered_rate=rate,
-        accepted_flits_per_node_cycle=stats.accepted_load(net.num_end_nodes),
+        accepted_flits_per_node_cycle=steady_flits / window / max(1, net.num_end_nodes),
         avg_latency=avg,
         p99_latency=p99,
         saturated=avg > factor * zero_load,

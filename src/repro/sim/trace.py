@@ -94,16 +94,23 @@ class SimTrace:
         return [e for e in self._events if e.kind == "deadlock"]
 
     def render(self, packet_id: int | None = None, limit: int = 50) -> str:
-        """Readable transcript (optionally filtered to one packet)."""
+        """Readable transcript (optionally filtered to one packet).
+
+        The ring keeps the *newest* window, and so does the rendering:
+        when more than ``limit`` events are retained, the **tail** is
+        shown and the elided (older) prefix is noted at the head, right
+        after any note about events the ring itself already evicted.
+        """
         if packet_id is not None:
             events = self.for_packet(packet_id)
         else:
             events = list(self._events)
-        lines = [str(e) for e in events[:limit]]
-        if len(events) > limit:
-            lines.append(f"... {len(events) - limit} more events")
+        lines: list[str] = []
         if self.dropped:
             lines.append(
                 f"... {self.dropped} older events dropped (ring buffer full)"
             )
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more events elided")
+        lines.extend(str(e) for e in events[-limit:])
         return "\n".join(lines)

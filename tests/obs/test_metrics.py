@@ -1,0 +1,102 @@
+"""Unit tests for the MetricRegistry: accessors, folding, export order."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricRegistry
+
+
+class TestAccessors:
+    def test_counter_get_or_create_is_idempotent(self):
+        reg = MetricRegistry()
+        a = reg.counter("flits", link="l3")
+        b = reg.counter("flits", link="l3")
+        assert a is b
+        a.inc(5)
+        assert b.value == 5
+        assert len(reg) == 1
+
+    def test_labels_distinguish_metrics(self):
+        reg = MetricRegistry()
+        assert reg.counter("flits", link="l0") is not reg.counter("flits", link="l1")
+        assert reg.counter("flits") is not reg.gauge("flits")
+
+    def test_counter_rejects_decrements(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        reg = MetricRegistry()
+        g = reg.gauge("depth")
+        g.set(3.0)
+        g.add(2.0)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_observe_tracks_extrema_and_buckets(self):
+        h = Histogram("lat")
+        for v in (1, 2, 7, 100):
+            h.observe(v)
+        assert h.count == 4 and h.total == 110
+        assert h.min == 1 and h.max == 100
+        assert h.mean == 27.5
+        # 1 -> bucket[1], 2 -> bucket[2], 7 -> bucket[3], 100 -> bucket[7]
+        assert h.buckets[1] == 1 and h.buckets[2] == 1
+        assert h.buckets[3] == 1 and h.buckets[7] == 1
+        assert sum(h.buckets) == 4
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("lat").mean == 0.0
+
+
+class TestSpans:
+    def test_span_context_accumulates(self):
+        reg = MetricRegistry()
+        with reg.span("simulate"):
+            pass
+        with reg.span("simulate"):
+            pass
+        span = reg.span_metric("simulate")
+        assert span.count == 2
+        assert span.seconds >= 0.0
+
+    def test_span_records_time_on_exception(self):
+        reg = MetricRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("simulate"):
+                raise RuntimeError("boom")
+        assert reg.span_metric("simulate").count == 1
+
+
+class TestMerge:
+    def test_shard_fold(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("pkts").inc(3)
+        b.counter("pkts").inc(4)
+        b.counter("only_b").inc(1)
+        a.gauge("depth").set(2.0)
+        b.gauge("depth").set(9.0)
+        a.histogram("lat").observe(4)
+        b.histogram("lat").observe(64)
+        b.span_metric("simulate").add(0.5, 2)
+        out = a.merge(b)
+        assert out is a
+        assert a.counter("pkts").value == 7
+        assert a.counter("only_b").value == 1
+        assert a.gauge("depth").value == 9.0  # last writer wins
+        h = a.histogram("lat")
+        assert h.count == 2 and h.min == 4 and h.max == 64
+        assert a.span_metric("simulate").count == 2
+
+    def test_rows_sorted_and_shard_order_invariant(self):
+        def shard(values):
+            reg = MetricRegistry()
+            for link, n in values:
+                reg.counter("flits", link=link).inc(n)
+            return reg
+
+        ab = shard([("l0", 1)]).merge(shard([("l1", 2)]))
+        ba = shard([("l1", 2)]).merge(shard([("l0", 1)]))
+        assert ab.rows() == ba.rows()
+        names = [(r["kind"], r["name"]) for r in ab.rows()]
+        assert names == sorted(names)

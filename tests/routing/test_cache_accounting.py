@@ -1,0 +1,65 @@
+"""RoutingTableCache accounting under concurrency.
+
+`seconds_saved` is the cache's headline number (`speedup` in the sweep
+reports divides by it), so the race path where several threads miss
+together must still credit every losing thread with the real build cost
+-- never a silent 0.0.
+"""
+
+import threading
+
+from repro.routing.cache import RoutingTableCache
+from repro.routing.dimension_order import dimension_order_tables
+from repro.topology.mesh import mesh
+
+
+def test_sequential_hits_credit_recorded_cost():
+    cache = RoutingTableCache()
+    net = mesh((3, 3), nodes_per_router=1)
+    first = cache.get_or_build(net, algorithm="dimension_order")
+    second = cache.get_or_build(net, algorithm="dimension_order")
+    assert first is second
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+    assert cache.stats.seconds_saved > 0.0
+    assert cache.stats.build_seconds > 0.0
+
+
+def test_racing_losers_credit_real_build_cost():
+    cache = RoutingTableCache()
+    net = mesh((3, 3), nodes_per_router=1)
+    n_threads = 4
+    barrier = threading.Barrier(n_threads)
+
+    def racing_builder(net, **params):
+        # every thread passes the lookup miss before any build finishes,
+        # so all four build and exactly one setdefault wins
+        barrier.wait()
+        return dimension_order_tables(net)
+
+    results: list = []
+    errors: list = []
+
+    def work():
+        try:
+            results.append(
+                cache.get_or_build(
+                    net, algorithm="dimension_order", builder=racing_builder
+                )
+            )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert len(results) == n_threads
+    assert all(r is results[0] for r in results), "hits must share one object"
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == n_threads - 1
+    # the fix under test: each loser credits the winner's recorded cost
+    # (or its own elapsed), so the saved time can never be silently 0.0
+    assert cache.stats.seconds_saved > 0.0

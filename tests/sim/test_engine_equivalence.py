@@ -71,34 +71,10 @@ def _traffic(kind: str, net, seed: int = 1996):
     return explicit_traffic(schedule)
 
 
-def signature(sim) -> dict:
-    """Everything observable about a finished run, in comparable form."""
-    s = sim.stats
-    return {
-        "cycles": s.cycles,
-        "offered": s.packets_offered,
-        "injected": s.packets_injected,
-        "delivered": s.packets_delivered,
-        "flits_moved": s.flits_moved,
-        "flits_delivered": s.flits_delivered,
-        "latencies": tuple(s.latencies),
-        "link_flits": dict(s.link_flits),
-        "peak": s.peak_occupied_buffers,
-        "deadlock_cycle": s.deadlock_cycle,
-        "deadlock_at": s.deadlock_at,
-        "violations": tuple(s.in_order_violations),
-        "retried": s.packets_retried,
-        "dropped": s.packets_dropped,
-        "failed_over": s.packets_failed_over,
-        "failover_latencies": tuple(s.failover_latencies),
-        "flits_dropped": s.flits_dropped,
-        "table_swaps": s.table_swaps,
-        "reconvergence": tuple(s.reconvergence_cycles),
-        "stamps": {
-            pid: (p.created, p.injected, p.delivered)
-            for pid, p in sim.packets.items()
-        },
-    }
+# Field-complete signature from the observability layer: it enumerates
+# dataclasses.fields(SimStats), so a counter added later cannot be
+# silently skipped by this suite.
+from repro.obs.parity import stats_signature as signature  # noqa: E402
 
 
 def run_engine(engine, topo, traffic_kind, faulted, cycles=600, **cfg_kw):

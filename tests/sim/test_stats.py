@@ -93,6 +93,18 @@ class TestMerge:
         a.merge(c)
         assert a.deadlock_cycle == ["c1", "c2"] and a.deadlock_at == 50
 
+    def test_earliest_deadlock_wins_regardless_of_merge_order(self):
+        # folding shard 99 before shard 50 must still keep cycle 50: the
+        # merged record reports the *first* deadlock of the combined run
+        a = SimStats(deadlock_cycle=["late"], deadlock_at=99)
+        a.merge(SimStats(deadlock_cycle=["early"], deadlock_at=50))
+        assert a.deadlock_cycle == ["early"] and a.deadlock_at == 50
+
+    def test_stamped_deadlock_never_replaced_by_unstamped(self):
+        a = SimStats(deadlock_cycle=["c"], deadlock_at=50)
+        a.merge(SimStats(deadlock_cycle=["nostamp"], deadlock_at=None))
+        assert a.deadlock_cycle == ["c"] and a.deadlock_at == 50
+
     def test_recovery_counters_and_series(self):
         a = SimStats(packets_retried=1, table_swaps=1)
         a.failover_latencies.append(30)
@@ -105,6 +117,40 @@ class TestMerge:
         assert a.table_swaps == 3
         assert a.failover_latencies == [30, 40, 50]
         assert a.reconvergence_cycles == [64, 70, 80]
+
+    def test_merge_deadlock_fold_is_order_independent(self):
+        # property: for any set of shards, folding in any order yields the
+        # same (earliest) deadlock record -- the invariant SweepRunner
+        # shard aggregation depends on (shards complete in any order)
+        from hypothesis import given, strategies as st
+
+        @given(st.data())
+        def check(data):
+            ats = data.draw(
+                st.lists(
+                    st.one_of(st.none(), st.integers(0, 1000)),
+                    min_size=1,
+                    max_size=6,
+                    unique=True,
+                )
+            )
+
+            def fold(order):
+                out = SimStats()
+                for i in order:
+                    shard = SimStats(
+                        deadlock_cycle=None if ats[i] is None else [f"c{i}"],
+                        deadlock_at=ats[i],
+                    )
+                    out.merge(shard)
+                return out.deadlock_at, out.deadlock_cycle
+
+            base = fold(range(len(ats)))
+            assert fold(data.draw(st.permutations(range(len(ats))))) == base
+            stamped = [a for a in ats if a is not None]
+            assert base[0] == (min(stamped) if stamped else None)
+
+        check()
 
     def test_merge_of_real_shards_matches_combined_totals(self):
         # shard a workload by splitting its traffic over two sims; merged

@@ -50,6 +50,46 @@ def test_unsaturable_at_max_rate_returns_max():
     assert sat == 0.05
 
 
+def test_accepted_load_shares_the_latency_window(small):
+    """Accepted load and latency must come from the same post-warmup
+    packets; the whole-run average would fold the warmup ramp in."""
+    import numpy as np
+
+    from repro.sim.engine import SimConfig
+    from repro.sim.network_sim import WormholeSim
+    from repro.sim.sweep import measure_point
+    from repro.sim.traffic import uniform_traffic
+
+    net, tables = small
+    cycles, rate, size, seed = 600, 0.05, 4, 7
+    point = measure_point(net, tables, rate, cycles, size, seed, 20.0, 3.0)
+
+    # replicate the run independently and derive both figures from the
+    # same packet records measure_point saw
+    sim = WormholeSim(
+        net,
+        tables,
+        uniform_traffic(net.end_node_ids(), rate, size, seed),
+        SimConfig(buffer_depth=4, raise_on_deadlock=False, stall_threshold=400),
+    )
+    sim.run(cycles, drain=False)
+    warmup = cycles // 5
+    steady = [
+        p
+        for p in sim.packets.values()
+        if p.delivered is not None and p.created >= warmup
+    ]
+    expected_accepted = (
+        sum(p.size for p in steady) / (cycles - warmup) / net.num_end_nodes
+    )
+    assert point.accepted_flits_per_node_cycle == expected_accepted
+    assert point.avg_latency == float(np.mean([p.latency for p in steady]))
+    # and it genuinely differs from the whole-run average on this workload
+    assert point.accepted_flits_per_node_cycle != sim.stats.accepted_load(
+        net.num_end_nodes
+    )
+
+
 def _fake_measure(threshold):
     """A measure_point whose saturation is a step function of the rate."""
 

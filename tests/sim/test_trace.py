@@ -86,6 +86,20 @@ def test_render_filters_and_limits():
     assert "more events" in short
 
 
+def test_render_limit_keeps_newest_events_with_elision_at_head():
+    # the tail of an overflowing trace is what debugging needs (the
+    # cycles just before a deadlock), so the limit keeps the *newest*
+    # events and notes the elision up front
+    trace = SimTrace()
+    for cycle in range(10):
+        trace.record(cycle, "traverse", cycle, f"link{cycle}")
+    lines = trace.render(limit=3).splitlines()
+    assert "7 more events" in lines[0]
+    assert len(lines) == 4
+    assert "link7" in lines[1] and "link9" in lines[3]
+    assert all("link0" not in line for line in lines)
+
+
 def test_at_cycle():
     net = build()
     tables = dimension_order_tables(net)
