@@ -502,6 +502,7 @@ def cmd_simulate(args) -> int:
                 ),
                 cycles=args.cycles,
                 drain=False,
+                engines=("reference", "compiled", "vectorized"),
             )
         except CounterParityError as exc:
             print("COUNTER PARITY FAILED:")
@@ -629,9 +630,11 @@ def main(argv: list[str] | None = None) -> int:
     sweep_p.add_argument("--switching", default="wormhole",
                          choices=("wormhole", "store_and_forward"))
     sweep_p.add_argument("--engine", default="auto",
-                         choices=("auto", "compiled", "reference"),
-                         help="simulator engine (both are bit-identical; "
-                              "'auto' compiles when the config allows)")
+                         choices=("auto", "compiled", "reference", "vectorized"),
+                         help="simulator engine (all are bit-identical; "
+                              "'auto' compiles when the config allows, and "
+                              "jobs=1 sweeps batch eligible points through "
+                              "the vectorized core)")
     sweep_p.add_argument("--saturation", action="store_true",
                          help="also binary-search the saturation rate")
     sweep_p.add_argument("--jobs", type=int, default=1, metavar="N")
@@ -675,8 +678,8 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--faults", type=int, default=0, metavar="K",
                            help="fail K random cables a quarter into the run")
             p.add_argument("--engine", default="auto",
-                           choices=("auto", "compiled", "reference"),
-                           help="simulator engine (both are bit-identical)")
+                           choices=("auto", "compiled", "reference", "vectorized"),
+                           help="simulator engine (all are bit-identical)")
             p.add_argument("--metrics-out", metavar="FILE", default=None,
                            help="write manifest, point and samples as JSONL/CSV")
             p.add_argument("--sample-interval", type=int, default=0,

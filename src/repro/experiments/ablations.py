@@ -32,7 +32,7 @@ from repro.metrics.hops import hop_stats
 from repro.routing.base import RoutingTable, all_pairs_routes
 from repro.routing.shortest_path import shortest_path_tables
 from repro.sim.engine import SimConfig
-from repro.sim.network_sim import WormholeSim
+from repro.sim.api import make_sim
 from repro.sim.packet import Flit
 from repro.sim.traffic import pairs_traffic
 from repro.topology.fully_connected import fully_connected_assembly
@@ -180,13 +180,13 @@ def vc_ring_demo(packet_size: int = 16) -> dict:
     pattern = [(f"n{i}", f"n{(i + 2) % 4}") for i in range(4)]
 
     base = SimConfig(buffer_depth=2, raise_on_deadlock=False, stall_threshold=32)
-    sim1 = WormholeSim(net, tables, pairs_traffic(pattern, packet_size), base)
+    sim1 = make_sim(net, tables, pairs_traffic(pattern, packet_size), base)
     stats1 = sim1.run(2000, drain=True)
 
     vc_cfg = SimConfig(
         buffer_depth=2, vc_count=2, raise_on_deadlock=False, stall_threshold=32
     )
-    sim2 = WormholeSim(
+    sim2 = make_sim(
         net,
         tables,
         pairs_traffic(pattern, packet_size),
@@ -251,7 +251,7 @@ def switching_comparison(packet_size: int = 16) -> dict:
     tables = dimension_order_tables(net, order=(1, 0))
 
     def one(switching: str, src: str, dst: str) -> int:
-        sim = WormholeSim(
+        sim = make_sim(
             net,
             tables,
             pairs_traffic([(src, dst)], packet_size),

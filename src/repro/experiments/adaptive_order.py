@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.network.graph import Network
 from repro.sim.engine import SimConfig
+from repro.sim.api import make_sim
 from repro.sim.network_sim import WormholeSim
 from repro.sim.traffic import uniform_traffic
 from repro.topology.fattree import fat_tree, fat_tree_tables
@@ -83,7 +84,7 @@ def run(
 
     def simulate(override) -> dict:
         traffic = _stream_plus_background(net, rate, packet_size, seed)
-        sim = WormholeSim(
+        sim = make_sim(
             net,
             tables,
             traffic,

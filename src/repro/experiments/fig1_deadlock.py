@@ -19,7 +19,7 @@ from repro.network.graph import Network
 from repro.routing.base import RoutingTable, all_pairs_routes
 from repro.routing.dimension_order import dimension_order_tables
 from repro.sim.engine import SimConfig
-from repro.sim.network_sim import WormholeSim
+from repro.sim.api import make_sim
 from repro.sim.traffic import pairs_traffic
 from repro.topology.mesh import mesh
 
@@ -73,7 +73,7 @@ def run(packet_size: int = 16, buffer_depth: int = 2) -> dict:
     cw = clockwise_tables(net)
     cw_routes = all_pairs_routes(net, cw)
     cw_cycle = find_cycle(channel_dependency_graph(net, cw_routes))
-    cw_sim = WormholeSim(
+    cw_sim = make_sim(
         net,
         cw,
         pairs_traffic(pattern, packet_size),
@@ -84,7 +84,7 @@ def run(packet_size: int = 16, buffer_depth: int = 2) -> dict:
     dor = dimension_order_tables(net)
     dor_routes = all_pairs_routes(net, dor)
     dor_cycle = find_cycle(channel_dependency_graph(net, dor_routes))
-    dor_sim = WormholeSim(
+    dor_sim = make_sim(
         net,
         dor,
         pairs_traffic(pattern, packet_size),

@@ -26,7 +26,7 @@ from repro.network.graph import Network
 from repro.routing.base import RoutingTable
 from repro.routing.cache import cached_tables
 from repro.sim.engine import SimConfig
-from repro.sim.network_sim import WormholeSim
+from repro.sim.api import make_sim
 from repro.sim.parallel import SweepRunner, derive_seed
 from repro.sim.traffic import uniform_traffic
 from repro.topology.fattree import fat_tree
@@ -88,7 +88,7 @@ def simulate_load_point(
     import numpy as np
 
     traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
-    sim = WormholeSim(
+    sim = make_sim(
         net,
         tables,
         traffic,
@@ -150,7 +150,7 @@ def database_point(
                     out.append(counter.make(src, dst, packet_size, cycle))
         return out
 
-    sim = WormholeSim(
+    sim = make_sim(
         net,
         tables,
         traffic,

@@ -26,7 +26,7 @@ from repro.routing.base import RoutingTable, all_pairs_routes
 from repro.routing.validate import validate_routing
 from repro.servernet.router_asic import RouterAsic, TableCorruption
 from repro.sim.engine import SimConfig
-from repro.sim.network_sim import WormholeSim
+from repro.sim.api import make_sim
 from repro.sim.traffic import pairs_traffic
 
 __all__ = ["funneled_tables", "run", "report"]
@@ -113,7 +113,7 @@ def provoke_deadlock(net: Network, tables: RoutingTable, cdg, attempts: int = 40
     candidates.extend(_cycle_witnesses(cdg, cycle) for cycle in canonical[:attempts])
 
     for pairs in candidates:
-        sim = WormholeSim(
+        sim = make_sim(
             net,
             tables,
             pairs_traffic(pairs, packet_size=5000),

@@ -1,7 +1,8 @@
-"""Cross-engine counter parity: compiled vs reference, every field.
+"""Cross-engine counter parity: every engine, every field.
 
-The compiled :class:`~repro.sim.compile.SimCore` is a pure performance
-refactor of :class:`~repro.sim.network_sim.ReferenceSim`; the two are
+The compiled :class:`~repro.sim.compile.SimCore` and the vectorized
+:class:`~repro.sim.vec.VecCore` are pure performance refactors of
+:class:`~repro.sim.network_sim.ReferenceSim`; all engines are
 bit-identical *by contract*.  This module turns that contract into a
 runtime assertion:
 
@@ -9,9 +10,9 @@ runtime assertion:
   field (enumerated via ``dataclasses.fields``, so a new counter can
   never be silently skipped), the per-link flit map, and the per-packet
   created/injected/delivered stamps, all in hashable comparable form.
-* :func:`assert_counter_parity` -- run the same workload on both
-  engines and raise :class:`CounterParityError` listing every diverging
-  field.
+* :func:`assert_counter_parity` -- run the same workload on every
+  engine named in ``engines`` and raise :class:`CounterParityError`
+  listing every diverging field.
 
 It runs as a debug-mode check (``fractanet simulate --check-parity``)
 and as a CI smoke step; it is also the harness that flushed out the
@@ -34,12 +35,12 @@ __all__ = [
 
 
 class CounterParityError(AssertionError):
-    """The two engines disagreed on at least one counter."""
+    """At least two engines disagreed on at least one counter."""
 
     def __init__(self, diffs: list[str]) -> None:
         super().__init__(
-            "compiled and reference engines diverged on "
-            f"{len(diffs)} field(s):\n  " + "\n  ".join(diffs)
+            f"engines diverged on {len(diffs)} field(s):\n  "
+            + "\n  ".join(diffs)
         )
         self.diffs = diffs
 
@@ -77,14 +78,18 @@ def stats_signature(sim) -> dict[str, Any]:
 
 
 def compare_signatures(
-    reference: dict[str, Any], compiled: dict[str, Any]
+    reference: dict[str, Any],
+    compiled: dict[str, Any],
+    labels: tuple[str, str] = ("reference", "compiled"),
 ) -> list[str]:
     """Human-readable field-level diffs (``[]`` means bit-identical)."""
     diffs: list[str] = []
     for name in sorted(set(reference) | set(compiled)):
         a, b = reference.get(name), compiled.get(name)
         if a != b:
-            diffs.append(f"{name}: reference={_brief(a)} compiled={_brief(b)}")
+            diffs.append(
+                f"{name}: {labels[0]}={_brief(a)} {labels[1]}={_brief(b)}"
+            )
     return diffs
 
 
@@ -102,8 +107,9 @@ def assert_counter_parity(
     cycles: int = 600,
     drain: bool = True,
     fault_factory: Callable[[], Any] | None = None,
+    engines: tuple[str, ...] = ("reference", "compiled"),
 ) -> dict[str, Any]:
-    """Run both engines on identical inputs and demand identical counters.
+    """Run every engine on identical inputs and demand identical counters.
 
     ``traffic_factory`` (and ``fault_factory``) are zero-argument
     callables because generators and fault schedules are stateful -- each
@@ -111,15 +117,21 @@ def assert_counter_parity(
     ``config``'s ``engine`` field is overridden per run.  Deadlocks are
     recorded, not raised, so deadlocking workloads are compared too.
 
+    ``engines`` lists the engines to compare (the first is the baseline
+    the rest diff against); include ``"vectorized"`` only for workloads
+    it supports (see :func:`repro.sim.vec.vec_blockers`).
+
     Returns the (identical) signature on success; raises
     :class:`CounterParityError` on any divergence.
     """
     from repro.sim.engine import SimConfig
     from repro.sim.network_sim import WormholeSim
 
+    if len(engines) < 2:
+        raise ValueError("need at least two engines to compare")
     config = config or SimConfig()
     signatures: dict[str, dict[str, Any]] = {}
-    for engine in ("reference", "compiled"):
+    for engine in engines:
         run_config = dataclasses.replace(
             config, engine=engine, raise_on_deadlock=False
         )
@@ -133,7 +145,14 @@ def assert_counter_parity(
         sim.run(cycles, drain=drain)
         sim.finalize()
         signatures[engine] = stats_signature(sim)
-    diffs = compare_signatures(signatures["reference"], signatures["compiled"])
+    base = engines[0]
+    diffs: list[str] = []
+    for other in engines[1:]:
+        diffs.extend(
+            compare_signatures(
+                signatures[base], signatures[other], labels=(base, other)
+            )
+        )
     if diffs:
         raise CounterParityError(diffs)
-    return signatures["compiled"]
+    return signatures[engines[-1]]

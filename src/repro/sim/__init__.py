@@ -13,11 +13,18 @@ like Figure 1, and the runtime wait-for detector reports the cycle.  An
 optional virtual-channel mode reproduces the Dally & Seitz alternative the
 paper rejects on cost grounds (§2.1).
 
-Two engines implement the same cycle semantics: the readable
-object-per-flit reference interpreter (:class:`ReferenceSim`) and the
+Three engines implement the same cycle semantics: the readable
+object-per-flit reference interpreter (:class:`ReferenceSim`), the
 integer-indexed compiled core (:class:`SimCore`, see ``repro.sim.compile``)
-that :class:`WormholeSim` dispatches to by default.  They are bit-identical
-by contract and by test (``tests/sim/test_engine_equivalence.py``).
+that :class:`WormholeSim` dispatches to by default, and the batched
+struct-of-arrays vectorized core (:class:`VecCore`, see ``repro.sim.vec``)
+that advances many replicas per kernel pass.  They are bit-identical by
+contract and by test (``tests/sim/test_engine_equivalence.py``,
+``tests/sim/test_vec_engine.py``).
+
+Prefer the facade in :mod:`repro.sim.api` -- :class:`SimSpec` plus
+:func:`repro.sim.api.run` / :func:`repro.sim.api.run_batch` -- over
+constructing :class:`WormholeSim` directly.
 """
 
 from repro.sim.compile import CompiledNet, SimCore, compile_network
@@ -43,6 +50,7 @@ from repro.sim.recovery import (
 )
 from repro.sim.sweep import (
     LoadPoint,
+    curve_points,
     find_saturation,
     latency_curve,
     measure_point,
@@ -55,9 +63,23 @@ from repro.sim.parallel import (
     TaskTiming,
     derive_seed,
 )
+from repro.sim.vec import UniformPlan, VecCore, VecSim, vec_blockers
+from repro.sim import api
+from repro.sim.api import RunResult, SimSpec, make_sim, run, run_batch
 
 __all__ = [
     "CompiledNet",
+    "RunResult",
+    "SimSpec",
+    "UniformPlan",
+    "VecCore",
+    "VecSim",
+    "api",
+    "curve_points",
+    "make_sim",
+    "run",
+    "run_batch",
+    "vec_blockers",
     "DeadlockDetected",
     "FailoverPlan",
     "FaultSchedule",

@@ -1,0 +1,189 @@
+"""The single public entrypoint for running wormhole simulations.
+
+Before this module, callers reached the simulator through three divergent
+surfaces -- :class:`~repro.sim.network_sim.WormholeSim` construction with
+ad-hoc kwargs, the ``repro.sim.sweep`` free functions, and the
+:class:`~repro.sim.parallel.SweepRunner` methods -- each with its own
+argument spelling.  This module replaces the ad-hoc kwargs with one
+hashable value object:
+
+* :class:`SimSpec` -- network + traffic + config + run length, frozen and
+  hashable, so a measurement point can key caches, travel to worker
+  processes, and round-trip through equality checks;
+* :func:`run` / :func:`run_batch` -- execute one spec (or a list of
+  specs) and return per-spec :class:`~repro.sim.stats.SimStats`;
+* :func:`execute` / :func:`execute_batch` -- the same, but returning
+  :class:`RunResult` with the packet records and the resolved engine
+  (curve summaries need per-packet latencies, not just counters);
+* :func:`make_sim` -- the blessed constructor for callers that need a
+  live simulator object (probes, recovery managers, traces).
+
+``run_batch`` is where the vectorized engine pays off: specs that share a
+``(network, config, cycles, drain)`` group and carry an array-expressible
+traffic plan advance together in a single :class:`~repro.sim.vec.VecCore`
+batch -- one kernel pass per cycle for the whole group -- while
+inexpressible specs fall back to per-spec engines.  Results are
+bit-identical either way; batching is purely a throughput knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+from repro.sim.engine import SimConfig
+from repro.sim.network_sim import WormholeSim
+from repro.sim.parallel import NetworkSpec, resolve_target
+from repro.sim.stats import SimStats
+from repro.sim.vec import UniformPlan, VecCore, vec_blockers
+
+__all__ = [
+    "RunResult",
+    "SimSpec",
+    "execute",
+    "execute_batch",
+    "make_sim",
+    "run",
+    "run_batch",
+]
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """A hashable, self-contained description of one simulation run.
+
+    Attributes:
+        network: what to simulate on -- a
+            :class:`~repro.sim.parallel.NetworkSpec` (hashable recipe,
+            rebuilt through the routing-table cache; required for specs
+            used as dict keys or shipped to workers) or a literal
+            ``(network, tables)`` pair for callers that already hold one.
+        traffic: the offered load -- a :class:`~repro.sim.vec.UniformPlan`
+            (hashable recipe; eligible for batched execution) or any
+            ``TrafficGenerator`` (falls back to per-spec engines).
+        config: the :class:`~repro.sim.engine.SimConfig`; its ``engine``
+            field picks the kernel exactly as in ``WormholeSim``.
+        cycles: cycles of offered traffic.
+        drain: keep simulating until delivery after ``cycles`` (see
+            ``WormholeSim.run``).
+    """
+
+    network: Any
+    traffic: Any
+    config: SimConfig = field(default_factory=SimConfig)
+    cycles: int = 2000
+    drain: bool = False
+
+    def resolve(self) -> tuple[Network, RoutingTable]:
+        """Materialize the network target (cached for ``NetworkSpec``)."""
+        return resolve_target(self.network)
+
+    def build_traffic(self, net: Network):
+        """Materialize the traffic stream for a non-batched engine."""
+        if hasattr(self.traffic, "build"):
+            return self.traffic.build(net)
+        return self.traffic
+
+
+@dataclass
+class RunResult:
+    """Everything a caller can want back from one executed spec."""
+
+    stats: SimStats
+    packets: dict[int, Any]
+    engine: str
+
+
+def make_sim(
+    net: Network,
+    tables: RoutingTable,
+    traffic,
+    config: SimConfig | None = None,
+    **hooks: Any,
+) -> WormholeSim:
+    """The blessed simulator constructor.
+
+    Identical to calling :class:`~repro.sim.network_sim.WormholeSim`, but
+    going through here keeps call sites on the public facade (constructing
+    ``WormholeSim`` from ``repro.experiments`` warns) and gives hook-using
+    callers -- probes, traces, recovery managers -- one place to pass them.
+    """
+    return WormholeSim(net, tables, traffic, config, **hooks)
+
+
+def execute(spec: SimSpec) -> RunResult:
+    """Run one spec on the engine its config picks; return stats + packets."""
+    net, tables = spec.resolve()
+    sim = make_sim(net, tables, spec.build_traffic(net), spec.config)
+    sim.run(spec.cycles, drain=spec.drain)
+    stats = sim.finalize()
+    return RunResult(stats=stats, packets=dict(sim.packets), engine=sim.engine)
+
+
+def run(spec: SimSpec) -> SimStats:
+    """Run one spec and return its :class:`~repro.sim.stats.SimStats`."""
+    return execute(spec).stats
+
+
+def _batchable(spec: SimSpec) -> bool:
+    """Can this spec join a :class:`~repro.sim.vec.VecCore` batch?
+
+    The spec must ask for an engine the batched core may stand in for
+    (``vectorized`` explicitly, or ``auto`` -- bit-identical by the parity
+    contract), carry a hashable array-expressible traffic plan, and use no
+    feature on the vectorized blocker list.
+    """
+    return (
+        spec.config.engine in ("auto", "vectorized")
+        and isinstance(spec.traffic, UniformPlan)
+        and not vec_blockers(spec.config)
+    )
+
+
+def _group_key(spec: SimSpec):
+    net_key = (
+        spec.network
+        if isinstance(spec.network, NetworkSpec)
+        else (id(spec.network[0]), id(spec.network[1]))
+    )
+    return (net_key, spec.config, spec.cycles, spec.drain)
+
+
+def execute_batch(specs: Sequence[SimSpec]) -> list[RunResult]:
+    """Execute many specs, batching compatible ones into one array kernel.
+
+    Specs that share ``(network, config, cycles, drain)`` and are
+    :func:`_batchable` become replicas of a single ``VecCore`` -- the whole
+    group advances in one kernel pass per cycle.  Everything else runs
+    through :func:`execute` individually.  Results come back in input
+    order and are bit-identical to per-spec runs.
+    """
+    specs = list(specs)
+    out: list[RunResult | None] = [None] * len(specs)
+    groups: dict[Any, list[int]] = {}
+    for i, spec in enumerate(specs):
+        if _batchable(spec):
+            groups.setdefault(_group_key(spec), []).append(i)
+        else:
+            out[i] = execute(spec)
+    for idxs in groups.values():
+        first = specs[idxs[0]]
+        if len(idxs) == 1 and first.config.engine != "vectorized":
+            # a batch of one has no amortization; the compiled core wins
+            out[idxs[0]] = execute(first)
+            continue
+        net, tables = first.resolve()
+        core = VecCore(net, tables, [specs[i].traffic for i in idxs], first.config)
+        stats = core.run(first.cycles, drain=first.drain)
+        for b, i in enumerate(idxs):
+            out[i] = RunResult(
+                stats=stats[b], packets=core.packets_of(b), engine="vectorized"
+            )
+    return out  # type: ignore[return-value]
+
+
+def run_batch(specs: Sequence[SimSpec]) -> list[SimStats]:
+    """Run many specs (batched where possible); stats in input order."""
+    return [r.stats for r in execute_batch(specs)]

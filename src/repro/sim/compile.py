@@ -317,9 +317,13 @@ class SimCore:
                 self.step(generate=False)
                 if stats.deadlock_cycle is not None:
                     break
-                budget -= 1
-                if budget and self._last_moved == 0:
-                    budget -= self._fast_forward(budget, False)
+                if self._last_moved == 0:
+                    # budget only burns on zero-progress cycles (matching
+                    # the reference engine), so a draining backlog that
+                    # keeps moving flits always completes
+                    budget -= 1
+                    if budget:
+                        budget -= self._fast_forward(budget, False)
         stats.cycles = self.cycle
         self._flush_link_flits()
         return stats

@@ -4,7 +4,41 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DeadlockDetected", "RetryPolicy", "ReroutePolicy", "SimConfig"]
+__all__ = [
+    "DeadlockDetected",
+    "RetryPolicy",
+    "ReroutePolicy",
+    "SimConfig",
+    "register_engine",
+    "registered_engines",
+]
+
+#: Engine registry: name -> one-line summary.  ``SimConfig`` validates its
+#: ``engine`` field against this at construction so a typo fails loudly
+#: instead of silently falling through auto-selection.  The registry lives
+#: here (not in the engine modules) so validation never imports a kernel.
+_ENGINES: dict[str, str] = {
+    "auto": "pick the fastest engine that supports the run's features",
+    "reference": "string-keyed interpreter; the executable specification",
+    "compiled": "integer-indexed compiled core (repro.sim.compile.SimCore)",
+    "vectorized": "batched struct-of-arrays numpy core (repro.sim.vec.VecCore)",
+}
+
+
+def register_engine(name: str, summary: str) -> None:
+    """Register an engine name so ``SimConfig(engine=name)`` validates.
+
+    Dispatch itself stays with the :class:`~repro.sim.network_sim.WormholeSim`
+    facade (and :mod:`repro.sim.api`); registration only admits the name.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("engine name must be a non-empty string")
+    _ENGINES[name] = summary
+
+
+def registered_engines() -> tuple[str, ...]:
+    """The engine names ``SimConfig.engine`` accepts, in registration order."""
+    return tuple(_ENGINES)
 
 
 class DeadlockDetected(Exception):
@@ -135,8 +169,13 @@ class SimConfig:
             run uses only features it supports and silently falls back to
             the reference interpreter otherwise; ``"compiled"`` forces the
             compiled core (raising if an unsupported feature is requested);
-            ``"reference"`` forces the original string-keyed interpreter.
-            Both engines are bit-identical on supported configurations.
+            ``"reference"`` forces the original string-keyed interpreter;
+            ``"vectorized"`` forces the batched numpy core (raising if an
+            unsupported feature is requested -- it covers plain wormhole
+            runs only, but amortizes a whole batch of replicas per kernel
+            pass; see :mod:`repro.sim.api`).  All engines are bit-identical
+            on the configurations they share.  Unknown names are rejected
+            at construction against :func:`registered_engines`.
     """
 
     buffer_depth: int = 4
@@ -152,8 +191,11 @@ class SimConfig:
     engine: str = "auto"  # or "compiled" / "reference"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("auto", "compiled", "reference"):
-            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; registered engines: "
+                + ", ".join(registered_engines())
+            )
         if self.buffer_depth < 1:
             raise ValueError("buffer_depth must be >= 1")
         if self.vc_count < 1:

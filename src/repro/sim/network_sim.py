@@ -35,6 +35,8 @@ Two engines implement this cycle:
 
 from __future__ import annotations
 
+import sys
+import warnings
 from typing import TYPE_CHECKING, Callable
 
 from repro.deadlock.waitfor import WaitForGraph
@@ -197,7 +199,11 @@ class ReferenceSim:
             max_cycles: cycles to run (offered traffic keeps arriving).
             drain: after ``max_cycles``, keep running (without new traffic)
                 until everything offered is delivered, deadlock, or a
-                safety budget of ``4 * max_cycles`` extra cycles expires.
+                safety budget of ``4 * max_cycles`` zero-progress cycles
+                is exhausted.  Cycles in which flits move never count
+                against the budget, so a saturated backlog always drains;
+                only a stuck network (undetected livelock, recovery that
+                never converges) can hit the cutoff.
         """
         for _ in range(max_cycles):
             self.step()
@@ -210,10 +216,12 @@ class ReferenceSim:
                 or self.backlog
                 or (self.recovery is not None and self.recovery.pending)
             ) and budget > 0:
+                moved_before = self.stats.flits_moved
                 self.step(generate=False)
                 if self.stats.deadlocked:
                     break
-                budget -= 1
+                if self.stats.flits_moved == moved_before:
+                    budget -= 1
         self.stats.cycles = self.cycle
         return self.stats
 
@@ -616,12 +624,20 @@ class WormholeSim:
       features it supports, otherwise the reference interpreter;
     * ``"compiled"``: force the compiled core; raises ``ValueError``
       naming the unsupported features if any are requested;
-    * ``"reference"``: force the original interpreter.
+    * ``"reference"``: force the original interpreter;
+    * ``"vectorized"``: force the batched numpy core (single-replica
+      batch); raises ``ValueError`` naming the unsupported features if
+      any are requested.  ``"auto"`` never picks it -- batching pays off
+      through :func:`repro.sim.api.run_batch`, not single runs.
 
     The resolved name is exposed as :attr:`engine`; every other attribute
     (``run``, ``step``, ``stats``, ``buffers``, ``drop_packet``, ...) is
     delegated to the underlying engine, so the facade is transparent to
     the recovery layer and the tests.
+
+    Prefer constructing simulations through :mod:`repro.sim.api`
+    (``make_sim`` / ``run`` / ``run_batch``); experiment drivers calling
+    this constructor directly get a :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -640,6 +656,15 @@ class WormholeSim:
         probe: "SimProbe | None" = None,
     ) -> None:
         cfg = config or SimConfig()
+        caller = sys._getframe(1).f_globals.get("__name__", "")
+        if caller.startswith("repro.experiments"):
+            warnings.warn(
+                "experiment drivers should build simulations through "
+                "repro.sim.api (make_sim/run/run_batch), not WormholeSim "
+                "directly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         blockers: list[str] = []
         if cfg.switching != "wormhole":
             blockers.append(f"switching={cfg.switching!r}")
@@ -661,8 +686,30 @@ class WormholeSim:
             raise ValueError(
                 "engine='compiled' does not support: " + ", ".join(blockers)
             )
+        elif engine == "vectorized":
+            from repro.sim.vec import vec_blockers
 
-        if engine == "compiled":
+            vb = vec_blockers(
+                cfg,
+                vc_select=vc_select,
+                fault=fault,
+                trace=trace,
+                route_override=route_override,
+                on_deliver=on_deliver,
+                failover=failover,
+                recovery=recovery,
+                probe=probe,
+            )
+            if vb:
+                raise ValueError(
+                    "engine='vectorized' does not support: " + ", ".join(vb)
+                )
+
+        if engine == "vectorized":
+            from repro.sim.vec import VecSim
+
+            self._engine = VecSim(net, tables, traffic, cfg)
+        elif engine == "compiled":
             from repro.sim.compile import SimCore
 
             self._engine = SimCore(

@@ -195,26 +195,8 @@ class _MeasureTask:
     sample_interval: int = 0
 
 
-def _run_measure(task: _MeasureTask):
-    from repro.sim.sweep import measure_point
-
-    net, tables = resolve_target(task.target)
-    return measure_point(
-        net,
-        tables,
-        task.rate,
-        task.cycles,
-        task.packet_size,
-        task.seed,
-        task.zero_load,
-        task.saturation_factor,
-        task.switching,
-        task.engine,
-    )
-
-
 def _run_measure_observed(task: _MeasureTask) -> dict[str, Any]:
-    """Like :func:`_run_measure`, plus the probe's timeline rows.
+    """Measure one sampled curve point, plus the probe's timeline rows.
 
     The probe is created *inside* the worker and its rows travel back with
     the point, so sample streams attach to their point regardless of which
@@ -241,6 +223,28 @@ def _run_measure_observed(task: _MeasureTask) -> dict[str, Any]:
     )
     samples = probe.timeline_rows(rate=task.rate) if probe is not None else []
     return {"point": point, "samples": samples}
+
+
+def _run_execute(spec):
+    """Execute one :class:`repro.sim.api.SimSpec` (the per-point curve task).
+
+    The module-level counterpart of :func:`repro.sim.api.execute`, so a
+    spec can travel to a pool worker and run there.
+    """
+    from repro.sim import api
+
+    return api.execute(spec)
+
+
+def _run_execute_batch(specs):
+    """Execute a whole spec list as one task (the in-process batched path).
+
+    Keeps the batched :func:`repro.sim.api.execute_batch` call inside
+    :meth:`SweepRunner.map` so it is clocked like any other task.
+    """
+    from repro.sim import api
+
+    return api.execute_batch(specs)
 
 
 @dataclass(frozen=True)
@@ -412,44 +416,74 @@ class SweepRunner:
         on :attr:`sample_rows` in submission order (bit-identical across
         job counts and engines).  Phase timing (table build / simulate /
         merge) folds into :attr:`metrics` either way.
+
+        A thin wrapper over :func:`repro.sim.sweep.curve_points`: this
+        method only chooses the executor (per-point pool tasks when
+        ``jobs > 1``, one batched :func:`repro.sim.api.execute_batch` call
+        otherwise) and keeps the runner's timing/metrics bookkeeping.
         """
-        from repro.sim.sweep import _zero_load_latency
+        from repro.sim.sweep import _zero_load_latency, curve_points
 
         with self.metrics.span("table_build"):
             net, tables = resolve_target(target)
             zero = _zero_load_latency(net, tables, packet_size)
         name = label or net.name
-        tasks = [
-            _MeasureTask(
-                target=target if isinstance(target, NetworkSpec) else (net, tables),
-                rate=float(rate),
+        labels = [f"{name} {switching} rate={r:g}" for r in rates]
+        self.metrics.counter("sweep_points", sweep=name).inc(len(labels))
+        if sample_interval:
+            tasks = [
+                _MeasureTask(
+                    target=target if isinstance(target, NetworkSpec) else (net, tables),
+                    rate=float(rate),
+                    cycles=cycles,
+                    packet_size=packet_size,
+                    seed=derive_seed(
+                        seed, "rate", repr(float(rate)), "switching", switching
+                    ),
+                    saturation_factor=saturation_factor,
+                    switching=switching,
+                    zero_load=zero,
+                    engine=engine,
+                    sample_interval=sample_interval,
+                )
+                for rate in rates
+            ]
+            with self.metrics.span("simulate"):
+                observed = self.map(_run_measure_observed, tasks, labels=labels)
+            with self.metrics.span("merge"):
+                points = []
+                for bundle in observed:
+                    points.append(bundle["point"])
+                    self.sample_rows.extend(bundle["samples"])
+                self.metrics.counter("probe_samples", sweep=name).inc(
+                    sum(len(b["samples"]) for b in observed)
+                )
+            return points
+
+        if self.jobs > 1:
+            def executor(specs):
+                return self.map(_run_execute, specs, labels=labels)
+        else:
+            def executor(specs):
+                specs = list(specs)
+                batch_label = f"{name} {switching} batch x{len(specs)}"
+                return self.map(_run_execute_batch, [specs], labels=[batch_label])[0]
+
+        with self.metrics.span("simulate"):
+            return curve_points(
+                net,
+                tables,
+                rates,
                 cycles=cycles,
                 packet_size=packet_size,
-                seed=derive_seed(seed, "rate", repr(float(rate)), "switching", switching),
+                seed=seed,
                 saturation_factor=saturation_factor,
                 switching=switching,
-                zero_load=zero,
                 engine=engine,
-                sample_interval=sample_interval,
+                run_batch=executor,
+                zero_load=zero,
+                network=target if isinstance(target, NetworkSpec) else None,
             )
-            for rate in rates
-        ]
-        labels = [f"{name} {switching} rate={r:g}" for r in rates]
-        self.metrics.counter("sweep_points", sweep=name).inc(len(tasks))
-        if not sample_interval:
-            with self.metrics.span("simulate"):
-                return self.map(_run_measure, tasks, labels=labels)
-        with self.metrics.span("simulate"):
-            observed = self.map(_run_measure_observed, tasks, labels=labels)
-        with self.metrics.span("merge"):
-            points = []
-            for bundle in observed:
-                points.append(bundle["point"])
-                self.sample_rows.extend(bundle["samples"])
-            self.metrics.counter("probe_samples", sweep=name).inc(
-                sum(len(b["samples"]) for b in observed)
-            )
-        return points
 
     def recovery_curve(
         self,

@@ -382,7 +382,7 @@ def simulate_with_recovery(
     """
     import numpy as np
 
-    from repro.sim.network_sim import WormholeSim
+    from repro.sim.api import make_sim
     from repro.sim.parallel import derive_seed
     from repro.sim.traffic import uniform_traffic
 
@@ -414,7 +414,7 @@ def simulate_with_recovery(
         net, tables, retry=retry, reroute=reroute, fault=fault, failover=plan,
         cache=cache,
     )
-    sim = WormholeSim(
+    sim = make_sim(
         net, tables, traffic, config, fault=fault, recovery=manager, probe=probe
     )
     stats = sim.run(cycles, drain=drain)

@@ -15,17 +15,17 @@ bit-identical to ``jobs=1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.network.graph import Network
 from repro.routing.base import RoutingTable
 from repro.sim.engine import SimConfig
-from repro.sim.network_sim import WormholeSim
-from repro.sim.traffic import uniform_traffic
 
 __all__ = [
     "LoadPoint",
+    "curve_points",
     "find_saturation",
     "latency_curve",
     "measure_point",
@@ -42,6 +42,54 @@ class LoadPoint:
     avg_latency: float
     p99_latency: float
     saturated: bool
+
+
+def _point_config(packet_size: int, switching: str, engine: str) -> SimConfig:
+    """The measurement config every curve point runs under."""
+    return SimConfig(
+        buffer_depth=max(4, packet_size if switching == "store_and_forward" else 4),
+        raise_on_deadlock=False,
+        stall_threshold=400,
+        switching=switching,
+        engine=engine,
+    )
+
+
+def _window_summary(
+    packets,
+    rate: float,
+    cycles: int,
+    zero_load: float,
+    factor: float,
+    num_end_nodes: int,
+) -> LoadPoint:
+    """Summarize one run's packet records into a :class:`LoadPoint`.
+
+    The single source of truth for the warmup/measure window: every
+    reported figure uses the same post-warmup window -- latency comes from
+    packets created at or after ``cycles // 5``, and accepted load counts
+    exactly those packets' flits over the remaining cycles (the whole-run
+    average would fold the warmup ramp into the steady state and
+    understate accepted throughput near saturation).
+    """
+    warmup = cycles // 5
+    steady_pkts = [
+        p
+        for p in packets.values()
+        if p.delivered is not None and p.created >= warmup
+    ]
+    steady = [p.latency for p in steady_pkts]
+    avg = float(np.mean(steady)) if steady else float("inf")
+    p99 = float(np.percentile(steady, 99)) if steady else float("inf")
+    steady_flits = sum(p.size for p in steady_pkts)
+    window = max(1, cycles - warmup)
+    return LoadPoint(
+        offered_rate=rate,
+        accepted_flits_per_node_cycle=steady_flits / window / max(1, num_end_nodes),
+        avg_latency=avg,
+        p99_latency=p99,
+        saturated=avg > factor * zero_load,
+    )
 
 
 def measure_point(
@@ -62,48 +110,100 @@ def measure_point(
     Pure in all arguments (the traffic RNG is seeded here), which is what
     lets the parallel runner execute points in any process, in any order.
     ``engine`` selects the simulator implementation only -- it never enters
-    the seed derivation, because both engines are bit-identical.  ``probe``
+    the seed derivation, because the engines are bit-identical.  ``probe``
     optionally attaches a :class:`repro.obs.SimProbe` for in-run sampling.
 
-    Every reported figure uses the same post-warmup window: latency comes
-    from packets created at or after ``cycles // 5``, and accepted load
-    counts exactly those packets' flits over the remaining cycles (the
-    whole-run average would fold the warmup ramp into the steady state and
-    understate accepted throughput near saturation).
+    A thin wrapper over :mod:`repro.sim.api` plus the shared
+    :func:`_window_summary` measure-window logic (see :func:`curve_points`
+    for the batched many-rates form).
     """
-    traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
-    sim = WormholeSim(
-        net,
-        tables,
-        traffic,
-        SimConfig(
-            buffer_depth=max(4, packet_size if switching == "store_and_forward" else 4),
-            raise_on_deadlock=False,
-            stall_threshold=400,
-            switching=switching,
-            engine=engine,
-        ),
-        probe=probe,
+    from repro.sim import api
+    from repro.sim.vec import UniformPlan
+
+    cfg = _point_config(packet_size, switching, engine)
+    if probe is not None:
+        # probes need a live simulator hook; vec-ineligible by definition
+        sim = api.make_sim(
+            net, tables, UniformPlan(rate, packet_size, seed).build(net), cfg,
+            probe=probe,
+        )
+        sim.run(cycles, drain=False)
+        packets = sim.packets
+    else:
+        packets = api.execute(
+            api.SimSpec(
+                network=(net, tables),
+                traffic=UniformPlan(rate, packet_size, seed),
+                config=cfg,
+                cycles=cycles,
+                drain=False,
+            )
+        ).packets
+    return _window_summary(
+        packets, rate, cycles, zero_load, factor, net.num_end_nodes
     )
-    sim.run(cycles, drain=False)
-    warmup = cycles // 5
-    steady_pkts = [
-        p
-        for p in sim.packets.values()
-        if p.delivered is not None and p.created >= warmup
+
+
+def curve_points(
+    net: Network,
+    tables: RoutingTable,
+    rates: Sequence[float],
+    cycles: int = 2000,
+    packet_size: int = 8,
+    seed: int = 1996,
+    saturation_factor: float = 3.0,
+    switching: str = "wormhole",
+    engine: str = "auto",
+    run_batch: "Callable | None" = None,
+    zero_load: "float | None" = None,
+    network=None,
+) -> list[LoadPoint]:
+    """The one shared latency-curve implementation.
+
+    Builds one :class:`repro.sim.api.SimSpec` per rate (seeded from the
+    point's identity, as always) and executes them through ``run_batch``
+    -- by default :func:`repro.sim.api.execute_batch`, which advances all
+    vec-eligible points as one batched kernel; the parallel runner passes
+    its process-pool executor instead.  Both :func:`latency_curve` and
+    :meth:`repro.sim.parallel.SweepRunner.latency_curve` are thin wrappers
+    over this function, so the warmup/measure-window logic
+    (:func:`_window_summary`) has a single source of truth.
+
+    ``network`` optionally carries the hashable
+    :class:`~repro.sim.parallel.NetworkSpec` recipe the ``(net, tables)``
+    pair was built from; specs then ship the recipe to worker processes,
+    which rebuild it through the memoized routing-table cache instead of
+    unpickling the full network.
+    """
+    from repro.sim import api
+    from repro.sim.parallel import derive_seed
+    from repro.sim.vec import UniformPlan
+
+    zero = _zero_load_latency(net, tables, packet_size) if zero_load is None else zero_load
+    cfg = _point_config(packet_size, switching, engine)
+    net_field = network if network is not None else (net, tables)
+    specs = [
+        api.SimSpec(
+            network=net_field,
+            traffic=UniformPlan(
+                float(rate),
+                packet_size,
+                derive_seed(seed, "rate", repr(float(rate)), "switching", switching),
+            ),
+            config=cfg,
+            cycles=cycles,
+            drain=False,
+        )
+        for rate in rates
     ]
-    steady = [p.latency for p in steady_pkts]
-    avg = float(np.mean(steady)) if steady else float("inf")
-    p99 = float(np.percentile(steady, 99)) if steady else float("inf")
-    steady_flits = sum(p.size for p in steady_pkts)
-    window = max(1, cycles - warmup)
-    return LoadPoint(
-        offered_rate=rate,
-        accepted_flits_per_node_cycle=steady_flits / window / max(1, net.num_end_nodes),
-        avg_latency=avg,
-        p99_latency=p99,
-        saturated=avg > factor * zero_load,
-    )
+    results = (run_batch or api.execute_batch)(specs)
+    return [
+        _window_summary(
+            res.packets, float(rate), cycles, zero, saturation_factor,
+            net.num_end_nodes,
+        )
+        for rate, res in zip(rates, results)
+    ]
 
 
 def _zero_load_latency(net: Network, tables: RoutingTable, packet_size: int) -> float:

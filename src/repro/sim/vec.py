@@ -1,0 +1,1438 @@
+"""Batched struct-of-arrays simulation core: whole sweeps in one kernel.
+
+:class:`~repro.sim.compile.SimCore` (PR 3) interns strings to dense ints
+but still steps flits one at a time through Python bytecode.  This module
+rewrites the five phase kernels -- inject, route, allocate, traverse,
+eject -- as numpy array operations over flat per-channel state, and adds a
+**batch dimension**: ``B`` independent (traffic, seed) replicas of one
+:class:`~repro.sim.compile.CompiledNet` advance together in a single
+kernel pass per cycle.  A whole latency curve or saturation bisection
+becomes one batched run instead of N processes, which is how
+routing-engine evaluations at Dragonfly/HyperX scale amortize the
+per-cycle interpreter cost.
+
+Layout
+------
+
+All mutable state is struct-of-arrays over ``(replica, channel)``:
+
+* ``fifo``: ``(B*C, depth)`` int64 -- each input FIFO as a row of packed
+  flit codes; ``fifo_len`` gives the live prefix.
+* ``cur_out`` / ``holder`` / ``rr``: ``(B*C,)`` worm latches, output
+  allocations and round-robin pointers (the reference engine's
+  ``ChannelBuffer.current_out`` / ``OutputPort`` state).
+* ``scode``: ``(B, S)`` the flit each source would inject next.
+
+A flit code packs everything a kernel needs so the hot loop never touches
+a Python object::
+
+    pid << 38 | dest_end_index << 24 | size << 12 | index
+
+(distinct from ``SimCore``'s ``pid << 20 | index`` codes, which carry no
+destination -- the array kernels cannot afford a per-flit dict gather).
+
+Traffic is **pre-generated**: generators are pure functions of the cycle,
+so admission events are materialized up front into per-source queue
+arrays plus a cycle-indexed arrival index; the per-cycle admission kernel
+is then a handful of scatter-adds.  ``uniform_traffic`` streams have a
+fast path that reproduces the generator's RNG draw order bit-for-bit
+without creating :class:`~repro.sim.packet.Packet` objects (verified at
+runtime; falls back to calling the generator when numpy's batched integer
+draws are not stream-identical to scalar draws).
+
+Equivalence contract (checked by ``tests/sim/test_vec_engine.py`` and the
+CI parity smoke): at batch size 1 a :class:`VecCore` run is bit-identical
+to :class:`~repro.sim.network_sim.ReferenceSim` under the field-complete
+``repro.obs.parity.stats_signature`` -- same latency order, link flit
+counts, deadlock cycles, exception text.  At batch size B, replica ``b``
+is bit-identical to an independent run of the same (traffic, config),
+which subsumes statistical equivalence.
+
+Unsupported features (faults, recovery, router pipelining, VC selection,
+route overrides, delivery hooks, store-and-forward, traces, probes) stay
+on the reference/compiled engines; the facade's blocker list dispatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.deadlock.waitfor import WaitForGraph
+from repro.network.graph import Network
+from repro.routing.base import RoutingTable
+from repro.sim.compile import CompiledNet, compile_network
+from repro.sim.engine import DeadlockDetected, SimConfig
+from repro.sim.packet import Packet
+from repro.sim.stats import LatencySeries, SimStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.traffic import TrafficGenerator
+
+__all__ = ["UniformPlan", "VecCore", "VecSim", "vec_blockers"]
+
+# Flit-code layout (int64): pid << 38 | dest << 24 | size << 12 | index.
+# Index sits in the low bits so advancing a source's serialization cursor
+# is ``code + 1``.
+IDX_BITS = 12
+SIZE_BITS = 12
+DEST_BITS = 14
+SIZE_SHIFT = IDX_BITS
+DEST_SHIFT = IDX_BITS + SIZE_BITS
+PID_SHIFT = IDX_BITS + SIZE_BITS + DEST_BITS
+IDX_MASK = (1 << IDX_BITS) - 1
+SIZE_MASK = (1 << SIZE_BITS) - 1
+DEST_MASK = (1 << DEST_BITS) - 1
+MAX_PID = (1 << (62 - PID_SHIFT)) - 1  # ~16M packets per replica
+MAX_SIZE = SIZE_MASK
+MAX_ENDS = DEST_MASK
+
+
+@dataclass(frozen=True)
+class UniformPlan:
+    """A hashable recipe for a ``uniform_traffic`` stream.
+
+    Carrying the recipe (instead of the stateful generator) lets the
+    batched core pre-generate arrivals on its array fast path, and lets
+    :class:`repro.sim.api.SimSpec` stay hashable.
+    """
+
+    rate: float
+    packet_size: int
+    seed: int
+
+    def build(self, net: Network) -> "TrafficGenerator":
+        from repro.sim.traffic import uniform_traffic
+
+        return uniform_traffic(net.end_node_ids(), self.rate, self.packet_size, self.seed)
+
+
+def vec_blockers(
+    config: SimConfig,
+    *,
+    vc_select=None,
+    fault=None,
+    trace=None,
+    route_override=None,
+    on_deliver=None,
+    failover=None,
+    recovery=None,
+    probe=None,
+) -> list[str]:
+    """Features of a run the vectorized engine does not model.
+
+    An empty list means the run is expressible as array kernels; anything
+    named here needs the reference or compiled engine.
+    """
+    blockers: list[str] = []
+    if config.switching != "wormhole":
+        blockers.append(f"switching={config.switching!r}")
+    if config.router_delay:
+        blockers.append("router_delay")
+    if config.retry is not None or config.reroute is not None:
+        blockers.append("recovery policies")
+    if vc_select is not None:
+        blockers.append("vc_select")
+    if route_override is not None:
+        blockers.append("route_override")
+    if on_deliver is not None:
+        blockers.append("on_deliver")
+    if fault is not None:
+        blockers.append("fault schedule")
+    if trace is not None:
+        blockers.append("trace")
+    if failover is not None or recovery is not None:
+        blockers.append("recovery manager")
+    if probe is not None:
+        blockers.append("probe")
+    return blockers
+
+
+_BATCHED_INTS_OK: bool | None = None
+
+
+def _batched_ints_identical() -> bool:
+    """True when ``rng.integers(lo, hi, size=k)`` consumes the PCG64 stream
+    exactly like ``k`` successive scalar draws (numpy's Lemire rejection is
+    per-element either way, but verify rather than assume)."""
+    global _BATCHED_INTS_OK
+    if _BATCHED_INTS_OK is None:
+        a = np.random.default_rng(20260808)
+        b = np.random.default_rng(20260808)
+        ok = True
+        for n, k in ((17, 5), (63, 63), (5, 1), (31, 12)):
+            ua, ub = a.random(n), b.random(n)
+            ok = ok and bool(np.array_equal(ua, ub))
+            scalars = [int(a.integers(0, n - 1)) for _ in range(k)]
+            batched = b.integers(0, n - 1, size=k)
+            ok = ok and scalars == batched.tolist()
+        _BATCHED_INTS_OK = ok
+    return _BATCHED_INTS_OK
+
+
+_RAW_UNIFORM_OK: bool | None = None
+
+
+def _raw_uniform_ok() -> bool:
+    """Gate for the whole-window uniform pre-generation fast path.
+
+    That path replays ``default_rng`` draws by interpreting raw PCG64
+    words directly: ``random()`` consumes one word per double
+    (``(w >> 11) * 2**-53``) and small-range ``integers`` consumes
+    buffered 32-bit halves (low half first) through Lemire's multiply-
+    shift rejection.  Verify both -- plus the post-window state handoff
+    (``advance`` + uint32-buffer fix) -- against the Generator API once
+    per process; any mismatch (exotic numpy build or bit generator)
+    disables the fast path in favour of per-cycle draws.
+    """
+    global _RAW_UNIFORM_OK
+    if _RAW_UNIFORM_OK is None:
+        try:
+            _RAW_UNIFORM_OK = _check_raw_uniform()
+        except Exception:
+            _RAW_UNIFORM_OK = False
+    return _RAW_UNIFORM_OK
+
+
+def _check_raw_uniform() -> bool:
+    for n in (7, 64, 5, 2):
+        ref = np.random.default_rng(987)
+        seq_u: list[np.ndarray] = []
+        seq_i: list[int] = []
+        for _ in range(50):
+            u = ref.random(n)
+            seq_u.append(u)
+            seq_i.extend(
+                int(ref.integers(0, n - 1)) for _ in range(int((u < 0.4).sum()))
+            )
+        rep = np.random.default_rng(987)
+        bg = rep.bit_generator
+        if type(bg).__name__ != "PCG64":
+            return False
+        state0 = bg.state
+        pend = bool(state0["has_uint32"])
+        pv = int(state0["uinteger"])
+        raw = bg.random_raw(50 * n + len(seq_i) + 64)
+        rng_excl = n - 1
+        threshold = ((1 << 32) - rng_excl) % rng_excl if rng_excl > 1 else 0
+        p = 0
+        got_i: list[int] = []
+        for u_ref in seq_u:
+            u = (raw[p : p + n] >> 11) * (2.0**-53)
+            if not np.array_equal(u, u_ref):
+                return False
+            p += n
+            for _ in range(int((u < 0.4).sum())):
+                if rng_excl <= 1:
+                    got_i.append(0)  # integers(0, 1) draws nothing
+                    continue
+                while True:
+                    if pend:
+                        h, pend = pv, False
+                    else:
+                        w = int(raw[p])
+                        p += 1
+                        h = w & 0xFFFFFFFF
+                        pv, pend = w >> 32, True
+                    m = h * rng_excl
+                    if (m & 0xFFFFFFFF) >= threshold:
+                        got_i.append(m >> 32)
+                        break
+        if got_i != seq_i:
+            return False
+        if n == 64:
+            # handoff: park the generator exactly after the replayed prefix
+            # and let the Generator API produce the rest of the reference
+            # sequence, as consecutive pre-generation windows do
+            bg.state = state0
+            bg.advance(p)
+            st = bg.state
+            st["has_uint32"] = int(pend)
+            st["uinteger"] = int(pv) if pend else 0
+            bg.state = st
+            cont = np.random.Generator(bg)
+            tail_u = [cont.random(n) for _ in range(3)]
+            ref_tail = [ref.random(n) for _ in range(3)]
+            if not all(np.array_equal(a, b) for a, b in zip(tail_u, ref_tail)):
+                return False
+    return True
+
+
+class _Stream:
+    """Per-replica pre-generation state."""
+
+    __slots__ = ("gen", "plan", "rng", "node_end", "next_pid", "orig")
+
+    def __init__(self, source, net: Network, end_index: dict[str, int]) -> None:
+        if isinstance(source, UniformPlan):
+            self.plan = source
+            self.gen = None
+            self.rng = np.random.default_rng(source.seed)
+            self.node_end = np.array(
+                [end_index[n] for n in net.end_node_ids()], dtype=np.int64
+            )
+            self.orig = None  # packets materialized lazily from arrays
+        else:
+            self.plan = None
+            self.gen = source
+            self.rng = None
+            self.node_end = None
+            self.orig = {}  # pid -> original Packet (stamps flushed at run end)
+        self.next_pid = 0
+
+
+class VecCore:
+    """The batched wormhole engine (see module docstring).
+
+    One instance advances ``B`` independent replicas of the same
+    ``(net, tables, config)``; each replica has its own traffic stream.
+    ``run`` drives every live replica with the same per-cycle kernels and
+    freezes replicas individually (deadlock, drained, budget), so replica
+    ``b``'s final :class:`~repro.sim.stats.SimStats` exactly equals the
+    stats of an independent single run.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        tables: RoutingTable,
+        streams: Sequence["TrafficGenerator | UniformPlan"],
+        config: SimConfig | None = None,
+    ) -> None:
+        self.net = net
+        self.tables = tables
+        self.config = cfg = config or SimConfig()
+        bad = vec_blockers(cfg)
+        if bad:
+            raise ValueError("vectorized engine does not support: " + ", ".join(bad))
+        if not streams:
+            raise ValueError("VecCore needs at least one traffic stream")
+
+        self._cn = cn = compile_network(net, cfg.vc_count)
+        self._rows = self._lower(tables)
+        self.B = B = len(streams)
+        self.C = C = cn.num_channels
+        self.L = L = cn.num_links
+        self.S = S = len(cn.end_ids)
+        self.V = cfg.vc_count
+        self.D = D = cfg.buffer_depth
+        if S > MAX_ENDS:
+            raise ValueError(
+                f"vectorized engine supports at most {MAX_ENDS} end nodes (got {S})"
+            )
+
+        # ---- static per-channel facts as arrays
+        self._ch_router = np.array(cn.ch_router, dtype=np.int32)
+        self._ch_end = np.array(cn.ch_dst_is_end, dtype=bool)
+        self._inj_ch = np.array(
+            [-1 if cn.inj_ch[n] is None else cn.inj_ch[n] for n in cn.end_ids],
+            dtype=np.int32,
+        )
+        self._inj_ch_clip = np.maximum(self._inj_ch, 0)
+        self._any_orphan_src = bool((self._inj_ch < 0).any())
+        # flat (replica, injection channel) indices for the space check
+        self._inj_flat = (
+            np.arange(B, dtype=np.int32)[:, None] * C + self._inj_ch_clip[None, :]
+        ).reshape(-1)
+        self._rows_flat = self._rows.reshape(-1)
+        self._rows_w = self._rows.shape[1]
+
+        # ---- dynamic state, struct-of-arrays.  The per-channel scalars are
+        # int32: the step kernel is dominated by random gathers over them,
+        # and the narrower dtype halves both bandwidth and cache footprint.
+        # FIFO width is padded to a power of two so ring-buffer slot wrap
+        # is a bitmask instead of a compare-and-subtract
+        self._Dp = 1 << (D - 1).bit_length()
+        self._fifo = np.zeros((B * C, self._Dp), dtype=np.int64)
+        self._fifo_flat = self._fifo.reshape(-1)
+        self._fhead = np.zeros(B * C, dtype=np.int32)  # ring-buffer head slot
+        self._fifo_len = np.zeros(B * C, dtype=np.int32)
+        self._cur_out = np.full(B * C, -1, dtype=np.int32)
+        self._holder = np.full(B * C, -1, dtype=np.int32)
+        self._rr = np.zeros(B * C, dtype=np.int32)
+        self._lf = np.zeros((B, L), dtype=np.int64)
+        self._lf_pend: list[np.ndarray] = []  # deferred link-flit counts
+        self._scode = np.full((B, S), -1, dtype=np.int64)
+        if B * S * S <= 1 << 25:
+            self._pairseq = np.zeros((B, S, S), dtype=np.int32)
+            self._pairseq_d = None
+        else:  # very large fabrics: per-replica dicts, touched per head only
+            self._pairseq = None
+            self._pairseq_d = [dict() for _ in range(B)]
+
+        # ---- per-packet flat arrays (grown on demand)
+        self._pcap = 0
+        self._psrc = self._pdst = self._psize = None
+        self._pcreated = self._pinj = self._pdel = self._pseq = None
+        self._grow_pcap(1024)
+
+        # ---- source queues (filled by pre-generation)
+        self._qchunks: list[tuple[np.ndarray, np.ndarray]] = []  # (flat, codes)
+        self._qtotal = 0
+        self._qpacked = -1
+        self._qcodes = np.zeros((B * S, 1), dtype=np.int64)
+        self._qstart = np.zeros(B * S, dtype=np.int64)
+        self._qfin = np.zeros(B * S, dtype=np.int64)
+        self._qtail = np.zeros(B * S, dtype=np.int64)
+        self._win_adm: list[tuple] = []  # (cyc, flat, pid) per pregen call
+        self._adm_arrays: dict[int, "tuple | None"] = {}
+
+        # ---- per-replica bookkeeping
+        self._offered = np.zeros(B, dtype=np.int64)
+        self._pi = np.zeros(B, dtype=np.int64)  # packets injected
+        self._pd = np.zeros(B, dtype=np.int64)  # packets delivered
+        self._fmoved = np.zeros(B, dtype=np.int64)
+        self._fdel = np.zeros(B, dtype=np.int64)
+        self._peak = np.zeros(B, dtype=np.int64)
+        self._stall = np.zeros(B, dtype=np.int64)
+        self._backlog = np.zeros(B, dtype=np.int64)
+        self._cyc = np.zeros(B, dtype=np.int64)
+        self._alive = np.ones(B, dtype=bool)
+        self._dl_cycle: list[list[str] | None] = [None] * B
+        self._dl_at: list[int | None] = [None] * B
+        self._del_b: list[np.ndarray] = []  # delivery order: replica chunks
+        self._del_pid: list[np.ndarray] = []
+        self._dord: list[np.ndarray] | None = None
+        self._dord_n = -1
+        self._cycle = 0
+        self._pregen_done = 0
+
+        self._streams = [_Stream(s, net, cn.end_index) for s in streams]
+
+    # ------------------------------------------------------------------
+    def _lower(self, tables: RoutingTable) -> np.ndarray:
+        from repro.routing.cache import DEFAULT_CACHE
+
+        rows = DEFAULT_CACHE.get_or_lower(self.net, tables, self.config.vc_count).rows
+        return rows.astype(np.int32)  # copy: never mutate the shared cache
+
+    def _grow_pcap(self, need: int) -> None:
+        if need > MAX_PID:
+            raise ValueError(
+                f"vectorized engine requires dense packet ids < {MAX_PID}"
+            )
+        if need <= self._pcap:
+            return
+        new = max(need, 2 * self._pcap)
+
+        def grow(arr, fill, dtype=np.int64):
+            out = np.full((self.B, new), fill, dtype=dtype)
+            if arr is not None and self._pcap:
+                out[:, : self._pcap] = arr
+            return out
+
+        self._psrc = grow(self._psrc, 0)
+        self._pdst = grow(self._pdst, 0)
+        self._psize = grow(self._psize, 0)
+        self._pcreated = grow(self._pcreated, -1)
+        self._pinj = grow(self._pinj, -1)
+        self._pdel = grow(self._pdel, -1)
+        self._pseq = grow(self._pseq, 0)
+        self._pcap = new
+
+    # ------------------------------------------------------------------
+    # pre-generation
+    # ------------------------------------------------------------------
+    def _admit_bulk(self, b: int, cyc_arr, pids, srcs, dsts, sizes) -> None:
+        """Record one replica's pre-generated arrivals for a whole window:
+        queue codes plus per-cycle admission chunks (``cyc_arr`` ascending)."""
+        if not pids.size:
+            return
+        self._grow_pcap(int(pids.max()) + 1)
+        self._psrc[b, pids] = srcs
+        self._pdst[b, pids] = dsts
+        self._psize[b, pids] = sizes
+        codes = (pids << PID_SHIFT) | (dsts << DEST_SHIFT) | (sizes << SIZE_SHIFT)
+        flat = b * self.S + srcs
+        self._qchunks.append((flat, codes))
+        self._qtotal += pids.size
+        self._win_adm.append((cyc_arr, flat, pids))
+
+    def _pregen_uniform(self, b: int, st: _Stream, start: int, stop: int) -> None:
+        plan = st.plan
+        rng = st.rng
+        node_end = st.node_end
+        n = node_end.size
+        rate = plan.rate
+        psize = plan.packet_size
+        if psize < 1:
+            raise ValueError("packets need at least one flit")
+        if psize > MAX_SIZE:
+            raise ValueError(
+                f"vectorized engine supports packet sizes <= {MAX_SIZE}"
+            )
+        if self._pregen_uniform_fast(b, st, start, stop):
+            return
+        batched = _batched_ints_identical()
+        ts: list[int] = []
+        ks: list[int] = []
+        fireds: list[np.ndarray] = []
+        jss: list[np.ndarray] = []
+        total = 0
+        for t in range(start, stop):
+            fired = np.flatnonzero(rng.random(n) < rate)
+            k = fired.size
+            if not k:
+                continue
+            if batched and n >= 2:
+                js = rng.integers(0, n - 1, size=k)
+            else:
+                js = np.array(
+                    [int(rng.integers(0, n - 1)) for _ in range(k)], dtype=np.int64
+                )
+            ts.append(t)
+            ks.append(k)
+            fireds.append(fired)
+            jss.append(js + (js >= fired))  # skip self, as uniform_traffic does
+            total += k
+        if not total:
+            return
+        cyc_arr = np.repeat(np.array(ts, dtype=np.int64), ks)
+        fired_all = np.concatenate(fireds)
+        js_all = np.concatenate(jss)
+        pids = st.next_pid + np.arange(total, dtype=np.int64)
+        st.next_pid += total
+        self._admit_bulk(
+            b,
+            cyc_arr,
+            pids,
+            node_end[fired_all],
+            node_end[js_all],
+            np.full(total, psize, dtype=np.int64),
+        )
+
+    def _pregen_uniform_fast(self, b: int, st: _Stream, start: int, stop: int) -> bool:
+        """Whole-window uniform pre-generation from raw PCG64 words.
+
+        Drains the replica's generator stream in one ``random_raw`` call and
+        replays it vectorized (see :func:`_raw_uniform_ok` for the verified
+        word discipline), leaving the generator parked exactly where the
+        per-cycle loop would have left it.  The per-cycle Python work drops
+        to a handful of integer ops; firing sources, destination draws, and
+        admission cycles are all assembled with array passes afterwards.
+        Returns False when this window must fall back to per-cycle draws.
+        """
+        plan = st.plan
+        node_end = st.node_end
+        n = node_end.size
+        if n < 2 or not _raw_uniform_ok():
+            return False
+        rng = st.rng
+        bg = getattr(rng, "bit_generator", None)
+        if bg is None or type(bg).__name__ != "PCG64":
+            return False
+        rate = plan.rate
+        T = stop - start
+        state0 = bg.state
+        init_pend = 1 if state0["has_uint32"] else 0
+        init_pv = int(state0["uinteger"])
+        rng_excl = n - 1  # integers(0, n-1) has n-1 possible values
+        threshold = ((1 << 32) - rng_excl) % rng_excl if rng_excl > 1 else 0
+        exp_fired = T * n * rate
+        raw = bg.random_raw(int(T * n + 0.6 * exp_fired + 8.0 * exp_fired**0.5 + 64))
+        for _ in range(8):
+            res = self._scan_uniform_raw(raw, T, n, rate, rng_excl, init_pend)
+            if res is not None:
+                break
+            raw = np.concatenate([raw, bg.random_raw(raw.size)])
+        else:  # pragma: no cover - cannot happen with geometric regrowth
+            bg.state = state0
+            return False
+        lt, ts, fs, dstarts, int_pos, h_total, p_total = res
+
+        tot = int(h_total) if rng_excl > 1 else int(sum(fs))
+        pend, pv = init_pend, init_pv
+        js = None
+        if tot:
+            if rng_excl > 1:
+                ipa = np.array(int_pos, dtype=np.int64)
+                halves = np.empty(init_pend + 2 * ipa.size, dtype=np.uint64)
+                if init_pend:
+                    halves[0] = init_pv
+                w = raw[ipa]
+                halves[init_pend::2] = w & np.uint64(0xFFFFFFFF)
+                halves[init_pend + 1 :: 2] = w >> np.uint64(32)
+                m = halves[:h_total] * np.uint64(rng_excl)
+                if threshold and bool(
+                    ((m & np.uint64(0xFFFFFFFF)) < np.uint64(threshold)).any()
+                ):
+                    # a Lemire rejection (p < 4e-6 per draw): replay slowly
+                    bg.state = state0
+                    return False
+                js = (m >> np.uint64(32)).astype(np.int64)
+                served = h_total - init_pend
+                if served > 0:
+                    pend = served % 2
+                    pv = int(raw[int_pos[-1]] >> np.uint64(32)) if pend else 0
+            else:
+                js = np.zeros(tot, dtype=np.int64)
+
+        bg.state = state0
+        bg.advance(p_total)
+        stf = bg.state
+        stf["has_uint32"] = pend
+        stf["uinteger"] = pv
+        bg.state = stf
+
+        if not tot:
+            return True
+        dstarts_a = np.array(dstarts, dtype=np.int64)
+        seg = lt[dstarts_a[:, None] + np.arange(n, dtype=np.int64)[None, :]]
+        srcs = np.nonzero(seg)[1]  # row-major: ascending source per cycle
+        dsts = js + (js >= srcs)
+        cyc_arr = np.repeat(
+            np.array(ts, dtype=np.int64) + start, np.array(fs, dtype=np.int64)
+        )
+        pids = st.next_pid + np.arange(tot, dtype=np.int64)
+        st.next_pid += tot
+        self._admit_bulk(
+            b,
+            cyc_arr,
+            pids,
+            node_end[srcs],
+            node_end[dsts],
+            np.full(tot, plan.packet_size, dtype=np.int64),
+        )
+        return True
+
+    @staticmethod
+    def _scan_uniform_raw(raw, T, n, rate, rng_excl, init_pend):
+        """Segment the raw word stream into per-cycle double blocks and
+        integer words (no-rejection layout; the caller verifies).  Returns
+        None when ``raw`` is too short."""
+        lt = ((raw >> np.uint64(11)) * (2.0**-53)) < rate
+        ltc = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lt))).tolist()
+        limit = raw.size
+        p = 0
+        h = 0  # integer halves drawn so far
+        iw = 0  # integer words consumed so far
+        ts: list[int] = []
+        fs: list[int] = []
+        dstarts: list[int] = []
+        int_pos: list[int] = []
+        for t in range(T):
+            if p + n > limit:
+                return None
+            f = ltc[p + n] - ltc[p]
+            if f:
+                ts.append(t)
+                fs.append(f)
+                dstarts.append(p)
+            p += n
+            if f and rng_excl > 1:
+                h += f
+                target = (h - init_pend + 1) // 2 if h > init_pend else 0
+                nw = target - iw
+                if nw:
+                    if p + nw > limit:
+                        return None
+                    int_pos.extend(range(p, p + nw))
+                    p += nw
+                    iw = target
+        return lt, ts, fs, dstarts, int_pos, h, p
+
+    def _pregen_generic(self, b: int, st: _Stream, start: int, stop: int) -> None:
+        end_index = self._cn.end_index
+        orig = st.orig
+        cycs: list[int] = []
+        pids: list[int] = []
+        srcs: list[int] = []
+        dsts: list[int] = []
+        sizes: list[int] = []
+        for t in range(start, stop):
+            batch = st.gen(t)
+            if not batch:
+                continue
+            for packet in batch:
+                if packet.src not in end_index or packet.dst not in end_index:
+                    raise ValueError(
+                        f"traffic names unknown end node: {packet.src}->{packet.dst}"
+                    )
+                pid = packet.packet_id
+                if pid in orig:
+                    raise ValueError(
+                        f"duplicate packet id {pid} (share a "
+                        "SequenceCounter across composed generators)"
+                    )
+                if pid > MAX_PID:
+                    raise ValueError(
+                        f"vectorized engine requires packet ids <= {MAX_PID}"
+                    )
+                if packet.size < 1:
+                    raise ValueError("packets need at least one flit")
+                if packet.size > MAX_SIZE:
+                    raise ValueError(
+                        f"vectorized engine supports packet sizes <= {MAX_SIZE}"
+                    )
+                orig[pid] = packet
+                cycs.append(t)
+                pids.append(pid)
+                srcs.append(end_index[packet.src])
+                dsts.append(end_index[packet.dst])
+                sizes.append(packet.size)
+        self._admit_bulk(
+            b,
+            np.array(cycs, dtype=np.int64),
+            np.array(pids, dtype=np.int64),
+            np.array(srcs, dtype=np.int64),
+            np.array(dsts, dtype=np.int64),
+            np.array(sizes, dtype=np.int64),
+        )
+
+    def _pregen_to(self, stop: int) -> None:
+        if stop <= self._pregen_done:
+            return
+        start = self._pregen_done
+        for b, st in enumerate(self._streams):
+            if st.plan is not None:
+                self._pregen_uniform(b, st, start, stop)
+            else:
+                self._pregen_generic(b, st, start, stop)
+        self._pregen_done = stop
+        self._consolidate_adm()
+
+    def _consolidate_adm(self) -> None:
+        """Turn the window's per-replica arrival arrays into per-cycle
+        event slices with one stable sort (admission order within a cycle
+        is immaterial: all its scatters hit unique (replica, pid) cells)."""
+        win = self._win_adm
+        if not win:
+            return
+        self._win_adm = []
+        if len(win) == 1:
+            cycs, flats, pids = win[0]
+        else:
+            cycs = np.concatenate([w[0] for w in win])
+            flats = np.concatenate([w[1] for w in win])
+            pids = np.concatenate([w[2] for w in win])
+        order = np.argsort(  # stable: quicksort on a (cycle, position) key
+            cycs.astype(np.int64) * np.int64(cycs.size)
+            + np.arange(cycs.size, dtype=np.int64)
+        )
+        cycs = cycs[order]
+        flats = flats[order]
+        pids = pids[order]
+        uc, starts = np.unique(cycs, return_index=True)
+        ends = np.append(starts[1:], cycs.size)
+        arrays = self._adm_arrays
+        for t, s, e in zip(uc.tolist(), starts.tolist(), ends.tolist()):
+            arrays[t] = (flats[s:e], pids[s:e])
+
+    def _pack_queues(self) -> None:
+        if self._qpacked == self._qtotal:
+            return
+        if len(self._qchunks) == 1:
+            flats, codes = self._qchunks[0]
+        else:
+            flats = np.concatenate([c[0] for c in self._qchunks])
+            codes = np.concatenate([c[1] for c in self._qchunks])
+        nq = self.B * self.S
+        counts = np.bincount(flats, minlength=nq)
+        qmax = int(counts.max()) if flats.size else 0
+        arr = np.zeros((nq, max(qmax, 1)), dtype=np.int64)
+        # stable sort by queue keeps each source's arrival order; the column
+        # of each entry is its rank within its own queue
+        order = np.argsort(
+            flats.astype(np.int64) * np.int64(flats.size)
+            + np.arange(flats.size, dtype=np.int64)
+        )
+        sf = flats[order]
+        starts = np.zeros(nq, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        arr[sf, np.arange(sf.size, dtype=np.int64) - starts[sf]] = codes[order]
+        self._qcodes = arr
+        self._qpacked = self._qtotal
+
+    def _adm_events(self, cycle: int):
+        return self._adm_arrays.get(cycle)
+
+    def _flush_lf(self) -> None:
+        """Fold the deferred link-flit index chunks into the counters."""
+        if self._lf_pend:
+            idxs = np.concatenate(self._lf_pend)
+            self._lf_pend = []
+            self._lf += np.bincount(idxs, minlength=self._lf.size).reshape(
+                self.B, self.L
+            )
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> np.ndarray:
+        """Per-replica census of worms currently in the fabric."""
+        return self._pi - self._pd
+
+    @property
+    def backlog(self) -> np.ndarray:
+        """Per-replica packets still waiting in source queues."""
+        return self._backlog.copy()
+
+    def cycle_of(self, b: int) -> int:
+        return int(self._cyc[b])
+
+    def run(self, max_cycles: int, drain: bool = False) -> list[SimStats]:
+        """Advance every live replica (same contract as the reference
+        engine's ``run``, applied replica-wise)."""
+        if max_cycles > 0:
+            alive_cycles = self._cyc[self._alive]
+            if alive_cycles.size and not (alive_cycles == self._cycle).all():
+                raise RuntimeError(
+                    "VecCore.run after a partial drain: live replicas have "
+                    "diverged clocks; use a fresh core per workload"
+                )
+            self._pregen_to(self._cycle + max_cycles)
+            self._pack_queues()
+        stop = self._cycle + max_cycles
+        while self._cycle < stop:
+            act = self._alive.copy()
+            if not act.any():
+                break
+            self._step(act, generate=True)
+        if drain:
+            budget = np.full(self.B, 4 * max_cycles + 1000, dtype=np.int64)
+            while True:
+                act = (
+                    self._alive
+                    & ((self.in_flight > 0) | (self._backlog > 0))
+                    & (budget > 0)
+                )
+                if not act.any():
+                    break
+                moved_before = self._fmoved.copy()
+                self._step(act, generate=False)
+                # per-replica budget only burns on zero-progress cycles
+                # (matching the scalar engines), so a draining backlog
+                # that keeps moving flits always completes
+                budget[act & (self._fmoved == moved_before)] -= 1
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    def _step(self, act: np.ndarray, generate: bool) -> None:
+        B, C, S, V, D, L = self.B, self.C, self.S, self.V, self.D, self.L
+        cycle = self._cycle
+        fifo = self._fifo
+        fifo_len = self._fifo_len
+        fl2 = fifo_len.reshape(B, C)
+
+        all_alive = bool(act.all())
+
+        # ---- inject phase 1: traffic admission (pre-generated arrivals)
+        if generate:
+            ev = self._adm_events(cycle)
+            if ev is not None:
+                fidx, pids = ev
+                b_of = fidx // S
+                if not all_alive:
+                    keep = act[b_of]
+                    if not keep.all():
+                        fidx = fidx[keep]
+                        pids = pids[keep]
+                        b_of = b_of[keep]
+                if fidx.size:
+                    self._qtail += np.bincount(fidx, minlength=self._qtail.size)
+                    bc = np.bincount(b_of, minlength=B)
+                    self._offered += bc
+                    self._backlog += bc
+                    self._pcreated.reshape(-1)[
+                        b_of * np.int64(self._pcap) + pids
+                    ] = cycle
+
+        # ---- inject phase 2: idle sources latch the next queued packet
+        scode = self._scode
+        sflat = scode.reshape(-1)
+        can_start = (sflat < 0) & (self._qstart < self._qtail)
+        if not all_alive:
+            can_start &= np.repeat(act, S)
+        sidx = np.flatnonzero(can_start)
+        if sidx.size:
+            if self._any_orphan_src:
+                bad = self._inj_ch[sidx % S] < 0
+                if bad.any():
+                    node = self._cn.end_ids[int(sidx[bad][0]) % S]
+                    self.net.out_links(node)[0]  # raises like the reference
+            qs = self._qstart.take(sidx)
+            self._qstart[sidx] = qs + 1
+            sflat[sidx] = np.take(
+                self._qcodes.reshape(-1), sidx * self._qcodes.shape[1] + qs
+            )
+
+        # ---- route phase: desired output per occupied input buffer.
+        # Work on the sparse occupied set (np.flatnonzero is row-major, i.e.
+        # (replica, channel)-sorted like the reference's sorted(occupied));
+        # every occupied buffer produces exactly one request.
+        occ = fl2 > 0
+        if not all_alive:
+            occ &= act[:, None]
+        # int32 index arithmetic: // and the derived remainder are several
+        # times cheaper than int64 %, and rb comes out for free
+        off = np.flatnonzero(occ).astype(np.int32)
+        rb = off // C
+        rc = off - rb * C
+        cur = self._cur_out.take(off)  # latched keep their worm's output
+        un = cur < 0
+        if un.any():
+            upos = np.flatnonzero(un)
+            uoff = off.take(upos)
+            fronts = np.take(
+                self._fifo_flat, uoff * self._Dp + self._fhead.take(uoff)
+            )
+            idxs = fronts & IDX_MASK
+            if idxs.any():
+                k = int(np.flatnonzero(idxs)[0])
+                raise RuntimeError(
+                    f"body flit without worm latch at "
+                    f"{self._cn.ch_key(int(rc[upos[k]]))} "
+                    f"(packet {int(fronts[k]) >> PID_SHIFT})"
+                )
+            dests = (fronts >> DEST_SHIFT) & DEST_MASK
+            urc = rc.take(upos)
+            base = np.take(
+                self._rows_flat,
+                self._ch_router.take(urc) * self._rows_w + dests,
+            )
+            if (base < 0).any():
+                base = base.copy()
+                for k in np.flatnonzero(base < 0):
+                    base[k] = self._slow_route(int(urc[k]), int(dests[k]))
+            cur[upos] = base + urc % V if V > 1 else base
+        ro = cur  # (cur is a fresh gather; heads were patched in place)
+
+        # ---- inject phase 3 (decision): space check against pre-move state
+        ready = scode >= 0
+        if not all_alive:
+            ready &= act[:, None]
+        inj_dec = None
+        if ready.any():
+            inj_dec = ready & (
+                fifo_len.take(self._inj_flat).reshape(B, S) < D
+            )
+
+        # ---- allocate phase: grants per (replica, output channel)
+        check = cycle % self.config.deadlock_check_interval == 0
+        n_desire_b = n_granted_b = None
+        gb = gc = go = None
+        parts = []
+        if off.size:
+            if check:
+                n_desire_b = np.bincount(rb, minlength=B)
+            key = off + (ro - rc)  # == rb*C + desired output channel
+            sp = self._ch_end.take(ro) | (fifo_len.take(key) < D)
+            h = self._holder.take(key)
+            g_held = (h == rc) & sp  # h == -1 never matches a channel index
+            if g_held.any():
+                parts.append(np.flatnonzero(g_held))
+            fpos = np.flatnonzero(h < 0)
+            if fpos.size:
+                # free-output head requests, grouped by (replica, output).
+                # Uncontended outputs (the common case) take a sort-free
+                # path: their single requester wins round-robin trivially.
+                fkey = key.take(fpos)
+                cnt = np.bincount(fkey)  # auto-sized to max(fkey)+1
+                many = cnt.take(fkey) > 1
+                if many.any():
+                    # contended groups: the stable sort keeps members in
+                    # ascending channel order, so round-robin arbitration
+                    # picks the reference engine's winner
+                    mpos = fpos[many]
+                    mkey = key.take(mpos)
+                    # stable sort via a (key, position) composite: an
+                    # in-place value sort is ~3x faster than numpy's stable
+                    # mergesort argsort on the bare key, and the sorted
+                    # positions come back out of the low bits for free
+                    comp = (mkey.astype(np.int64) << 24) + np.arange(
+                        mkey.size, dtype=np.int64
+                    )
+                    comp.sort()
+                    skey = comp >> 24
+                    sk = comp & 0xFFFFFF
+                    first = np.empty(skey.size, dtype=bool)
+                    first[0] = True
+                    np.not_equal(skey[1:], skey[:-1], out=first[1:])
+                    gstart = np.flatnonzero(first)
+                    gkeys = skey.take(gstart)
+                    gcounts = np.diff(np.append(gstart, skey.size))
+                    gsp = sp.take(mpos.take(sk.take(gstart)))
+                    if gsp.any():
+                        rrv = self._rr.take(gkeys)
+                        wpos = gstart + rrv % gcounts
+                        winners = mpos.take(sk.take(wpos[gsp]))
+                        wk = key.take(winners)
+                        self._rr[gkeys[gsp]] = rrv[gsp] + 1
+                        self._holder[wk] = rc.take(winners)
+                        parts.append(winners)
+                    spos = fpos[~many]
+                else:
+                    spos = fpos
+                if spos.size:
+                    wins = spos[sp.take(spos)]
+                    if wins.size:
+                        wk = key.take(wins)
+                        self._rr[wk] = self._rr.take(wk) + 1
+                        self._holder[wk] = rc.take(wins)
+                        parts.append(wins)
+
+        # ---- traverse/eject phase: execute grants (grant order is
+        # immaterial: every scatter target below is unique per cycle, and
+        # deliveries are explicitly re-sorted)
+        moved_b = np.zeros(B, dtype=np.int64)
+        if parts:
+            gsel = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            bfc = off.take(gsel)
+            gb = rb.take(gsel)
+            gc = rc.take(gsel)
+            go = ro.take(gsel)
+            okey = bfc + (go - gc)  # flat index of each grant's output
+            hd = self._fhead.take(bfc)
+            codes = self._fifo_flat.take(bfc * self._Dp + hd)
+            idx = codes & IDX_MASK
+            size = (codes >> SIZE_SHIFT) & SIZE_MASK
+            hpos = np.flatnonzero(idx == 0)
+            tpos = np.flatnonzero(idx == size - 1)
+            self._cur_out[bfc.take(hpos)] = go.take(hpos)
+            self._fhead[bfc] = (hd + 1) & (self._Dp - 1)  # ring-buffer pop
+            fifo_len[bfc] = fifo_len.take(bfc) - 1
+            self._cur_out[bfc.take(tpos)] = -1
+            self._holder[okey.take(tpos)] = -1
+            li = go // V if V > 1 else go
+            self._lf_pend.append(gb * L + li)
+            em = self._ch_end.take(go)
+            # one bincount keyed on (replica, end?) counts grants and
+            # deliveries together
+            both = np.bincount(gb * 2 + em, minlength=2 * B)
+            self._fdel += both[1::2]
+            tem = em.take(tpos)
+            if tem.any():
+                # deliveries sorted by (replica, output channel): the
+                # reference engine appends latencies in sorted out-key
+                # order, and channel ints sort exactly like the keys
+                dmi = tpos[tem]
+                dbg = gb.take(dmi)
+                dgo = go.take(dmi)
+                order = np.argsort(dbg * C + dgo)  # unique keys
+                db = dbg.take(order)
+                dp = np.take(codes.take(dmi) >> PID_SHIFT, order)
+                self._pdel.reshape(-1)[db * np.int64(self._pcap) + dp] = cycle
+                self._pd += np.bincount(db, minlength=B)
+                self._del_b.append(db)
+                self._del_pid.append(dp)
+            pmi = np.flatnonzero(~em)
+            bfo = okey.take(pmi)
+            fl_o = fifo_len.take(bfo)
+            slot = (self._fhead.take(bfo) + fl_o) & (self._Dp - 1)
+            self._fifo_flat[bfo * self._Dp + slot] = codes.take(pmi)
+            fifo_len[bfo] = fl_o + 1
+            g_cnt = both[0::2] + both[1::2]
+            moved_b += g_cnt
+            if check:
+                n_granted_b = g_cnt
+
+        # ---- inject phase 4: execute injections
+        if inj_dec is not None and inj_dec.any():
+            ipos = np.flatnonzero(inj_dec).astype(np.int32)
+            ib = ipos // S
+            isr = ipos - ib * S
+            codes = sflat.take(ipos)
+            idx = codes & IDX_MASK
+            size = (codes >> SIZE_SHIFT) & SIZE_MASK
+            io = self._inj_ch.take(isr)
+            heads = idx == 0
+            if heads.any():
+                hb = ib[heads]
+                hs = isr[heads]
+                hp = codes[heads] >> PID_SHIFT
+                hd = (codes[heads] >> DEST_SHIFT) & DEST_MASK
+                hpk = hb * np.int64(self._pcap) + hp
+                self._pinj.reshape(-1)[hpk] = cycle
+                self._pi += np.bincount(hb, minlength=B)
+                if self._pairseq is not None:
+                    ps = self._pairseq.reshape(-1)
+                    pidx = (hb * S + hs) * S + hd
+                    seq = ps.take(pidx)
+                    ps[pidx] = seq + 1
+                else:
+                    seq = np.empty(hb.size, dtype=np.int64)
+                    for i in range(hb.size):
+                        d = self._pairseq_d[int(hb[i])]
+                        kk = (int(hs[i]), int(hd[i]))
+                        v = d.get(kk, 0)
+                        seq[i] = v
+                        d[kk] = v + 1
+                self._pseq.reshape(-1)[hpk] = seq
+            bfo = ib * C + io
+            fl_o = fifo_len.take(bfo)
+            slot = (self._fhead.take(bfo) + fl_o) & (self._Dp - 1)
+            self._fifo_flat[bfo * self._Dp + slot] = codes
+            fifo_len[bfo] = fl_o + 1
+            li = io // V if V > 1 else io
+            self._lf_pend.append(ib * L + li)
+            last = idx == size - 1
+            sflat[ipos] = np.where(last, np.int64(-1), codes + 1)
+            # one bincount keyed on (replica, last?) counts injections and
+            # packet completions together
+            ibl = np.bincount(ib * 2 + last, minlength=2 * B)
+            if last.any():
+                lpos = ipos[last]
+                self._qfin[lpos] = self._qfin.take(lpos) + 1
+                self._backlog -= ibl[1::2]
+            moved_b += ibl[0::2] + ibl[1::2]
+
+        # ---- progress / deadlock bookkeeping
+        self._fmoved += moved_b
+        if len(self._lf_pend) >= 512:
+            self._flush_lf()
+        occ_cnt = np.count_nonzero(fl2, axis=1)
+        upd = act & (occ_cnt > self._peak)
+        if upd.any():
+            self._peak[upd] = occ_cnt[upd]
+        infl = self._pi - self._pd
+        stallm = act & (moved_b == 0) & ((infl > 0) | (occ_cnt > 0))
+        self._stall[stallm] += 1
+        nonstall = act & ~stallm
+        self._stall[nonstall] = 0
+        det1 = stallm & (self._stall >= self.config.stall_threshold)
+        if check and n_desire_b is not None:
+            if n_granted_b is None:
+                n_granted_b = np.zeros(B, dtype=np.int64)
+            det2 = nonstall & (n_granted_b < n_desire_b)
+        else:
+            det2 = None
+        if det1.any() or (det2 is not None and det2.any()):
+            self._run_detections(det1, det2, rb, rc, ro, gb, gc, cycle)
+        self._cyc[act] += 1
+        self._cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    def _slow_route(self, ch: int, dest_idx: int) -> int:
+        """Resolve a ``-1`` lowered-table cell through the original table,
+        preserving the reference engine's diagnostics (cf. SimCore)."""
+        cn = self._cn
+        router = cn.link_dst[ch // self.V]
+        dest = cn.end_ids[dest_idx]
+        port = self.tables.lookup(router, dest)
+        out_link = self.net.out_link_on_port(router, port)
+        return cn.link_index[out_link.link_id] * self.V
+
+    def _run_detections(self, det1, det2, rb, rc, ro, gb, gc, cycle: int) -> None:
+        """Deadlock detection across all flagged replicas in one pass.
+
+        The wait-for graph is functional (each waiting channel wants one
+        output), so cycle *existence* is decided by pointer doubling over
+        a ``(flagged, C)`` next-pointer matrix -- ``O(log C)`` array ops
+        instead of a Python walk per replica.  Only replicas that actually
+        close a cycle (rare) take the exact ``WaitForGraph`` path, which
+        reproduces the reference engine's reporting verbatim.
+
+        Matches the reference semantics: stalled replicas (``det1``) test
+        their full desire set; still-moving replicas at a check interval
+        (``det2``) test only the blocked (ungranted) subset.  Edges hang
+        off *post-move* buffer state, as in the reference's bookkeeping
+        phase.
+        """
+        B, C = self.B, self.C
+        flagged = det1 if det2 is None else (det1 | det2)
+        rows = np.flatnonzero(flagged)
+        rowmap = np.full(B, -1, dtype=np.int64)
+        rowmap[rows] = np.arange(rows.size)
+        nxt = np.full((rows.size, C), -1, dtype=np.int32)
+        sel = flagged[rb]
+        nxt[rowmap[rb[sel]], rc[sel]] = ro[sel]
+        if gb is not None and det2 is not None:
+            g2 = (det2 & ~det1)[gb]
+            if g2.any():
+                nxt[rowmap[gb[g2]], gc[g2]] = -1
+        empty = self._fifo_len.reshape(B, C)[rows] <= 0
+        nxt[empty] = -1
+        # flat int32 pointer doubling: np.take on the flat matrix is ~2x
+        # cheaper than take_along_axis on the 2-d one
+        rowbase = np.repeat(np.arange(rows.size, dtype=np.int32) * C, C)
+        sub = nxt.reshape(-1)
+        for _ in range(max(C, 2).bit_length() + 1):
+            valid = sub >= 0
+            if not valid.any():
+                break
+            hop = sub.take(rowbase + np.maximum(sub, 0))
+            sub = np.where(valid, hop, np.int32(-1))
+        has_cycle = (sub.reshape(rows.size, C) >= 0).any(axis=1)
+        for i, b in enumerate(rows.tolist()):
+            if has_cycle[i]:
+                row = nxt[i]
+                cs = np.flatnonzero(row >= 0)
+                self._report_deadlock(
+                    b, dict(zip(cs.tolist(), row[cs].tolist())), cycle
+                )
+            elif det1[b] and self._stall[b] >= 10 * self.config.stall_threshold:
+                raise RuntimeError(
+                    f"simulation stalled {int(self._stall[b])} cycles without "
+                    f"a wait-for cycle at cycle {cycle}; "
+                    f"in_flight={int(self._pi[b] - self._pd[b])}"
+                )
+
+    def _report_deadlock(self, b: int, desires: dict[int, int], at: int) -> None:
+        """Exact wait-for-graph reporting for one deadlocked replica."""
+        cfg = self.config
+        cn = self._cn
+        base = b * self.C
+        wfg = WaitForGraph()
+        for ch, out in desires.items():
+            wfg.add_wait(
+                cn.ch_str(ch),
+                cn.ch_str(out),
+                packet=int(self._fifo[base + ch, self._fhead[base + ch]])
+                >> PID_SHIFT,
+            )
+        cyc = wfg.find_deadlock()
+        if cyc is not None:
+            self._dl_cycle[b] = cyc
+            self._dl_at[b] = at
+            self._alive[b] = False
+            if cfg.raise_on_deadlock:
+                raise DeadlockDetected(cyc, wfg.blocked_packets(cyc), at)
+        elif self._stall[b] >= 10 * cfg.stall_threshold:  # pragma: no cover
+            raise RuntimeError(
+                f"simulation stalled {int(self._stall[b])} cycles without a "
+                f"wait-for cycle at cycle {at}; "
+                f"in_flight={int(self._pi[b] - self._pd[b])}"
+            )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _delivery_order(self) -> list[np.ndarray]:
+        if self._dord is not None and self._dord_n == len(self._del_b):
+            return self._dord
+        if self._del_b:
+            db = np.concatenate(self._del_b)
+            dp = np.concatenate(self._del_pid)
+            order = np.argsort(db, kind="stable")
+            sdb = db[order]
+            sdp = dp[order]
+            bounds = np.searchsorted(sdb, np.arange(self.B + 1))
+            self._dord = [sdp[bounds[i] : bounds[i + 1]] for i in range(self.B)]
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            self._dord = [empty] * self.B
+        self._dord_n = len(self._del_b)
+        return self._dord
+
+    def _violations(self, b: int) -> list[str]:
+        pids = self._delivery_order()[b]
+        if not pids.size:
+            return []
+        src = self._psrc[b, pids]
+        dst = self._pdst[b, pids]
+        seq = self._pseq[b, pids]
+        pair = dst * np.int64(self.S) + src
+        order = np.argsort(pair, kind="stable")
+        sp = pair[order]
+        sq = seq[order]
+        same = sp[1:] == sp[:-1]
+        if not (same & (sq[1:] <= sq[:-1])).any():
+            return []
+        # exact replay of SinkState's per-sink bookkeeping (rare path)
+        ends = self._cn.end_ids
+        per_sink: dict[int, list[str]] = {}
+        last: dict[tuple[int, int], int] = {}
+        for i in range(pids.size):
+            d = int(dst[i])
+            s = int(src[i])
+            q = int(seq[i])
+            lastv = last.get((d, s), -1)
+            if q <= lastv:
+                per_sink.setdefault(d, []).append(
+                    f"out-of-order: {ends[s]}->{ends[d]} seq {q}"
+                    f" after {lastv} (cycle {int(self._pdel[b, pids[i]])})"
+                )
+            else:
+                last[(d, s)] = q
+        out: list[str] = []
+        for d in range(self.S):
+            out.extend(per_sink.get(d, ()))
+        return out
+
+    def stats_of(self, b: int) -> SimStats:
+        """Materialize replica ``b``'s stats (bit-identical to a solo run)."""
+        self._flush_lf()
+        stats = SimStats()
+        stats.cycles = int(self._cyc[b])
+        stats.packets_offered = int(self._offered[b])
+        stats.packets_injected = int(self._pi[b])
+        stats.packets_delivered = int(self._pd[b])
+        stats.flits_moved = int(self._fmoved[b])
+        stats.flits_delivered = int(self._fdel[b])
+        stats.peak_occupied_buffers = int(self._peak[b])
+        pids = self._delivery_order()[b]
+        if pids.size:
+            lat = self._pdel[b, pids] - self._pcreated[b, pids]
+            stats.latencies.extend(lat.tolist())
+        link_ids = self._cn.link_ids
+        row = self._lf[b]
+        for li in np.flatnonzero(row):
+            stats.link_flits[link_ids[int(li)]] = int(row[li])
+        stats.deadlock_cycle = (
+            list(self._dl_cycle[b]) if self._dl_cycle[b] is not None else None
+        )
+        stats.deadlock_at = self._dl_at[b]
+        stats.in_order_violations = self._violations(b)
+        return stats
+
+    def finalize(self) -> list[SimStats]:
+        """Flush stamps into any original Packet objects and collect stats."""
+        for b, st in enumerate(self._streams):
+            if st.orig:
+                self._flush_orig(b, st)
+        return [self.stats_of(b) for b in range(self.B)]
+
+    def _flush_orig(self, b: int, st: _Stream) -> None:
+        created = self._pcreated[b]
+        for pid, packet in st.orig.items():
+            if created[pid] < 0:
+                continue
+            inj = int(self._pinj[b, pid])
+            if inj >= 0:
+                packet.injected = inj
+                packet.sequence = int(self._pseq[b, pid])
+            dlv = int(self._pdel[b, pid])
+            if dlv >= 0:
+                packet.delivered = dlv
+
+    def packet_records(self, b: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Admitted packets' ``(created, delivered, size)`` arrays for
+        replica ``b`` (``delivered == -1`` while in flight).  This is the
+        zero-object path the sweep window logic consumes."""
+        n = self._streams[b].next_pid if self._streams[b].plan is not None else self._pcap
+        created = self._pcreated[b, :n]
+        sel = np.flatnonzero(created >= 0)
+        return created[sel], self._pdel[b, sel], self._psize[b, sel]
+
+    def packets_of(self, b: int) -> dict[int, Packet]:
+        """Reference-shaped ``packets`` dict for replica ``b``.
+
+        Generic streams return (and stamp) the original objects; uniform
+        fast-path streams materialize equivalent ``Packet`` objects from
+        the arrays on demand.
+        """
+        st = self._streams[b]
+        if st.orig is not None:
+            self._flush_orig(b, st)
+            created = self._pcreated[b]
+            return {
+                pid: pkt for pid, pkt in st.orig.items() if created[pid] >= 0
+            }
+        created = self._pcreated[b, : max(st.next_pid, 1)]
+        sel = np.flatnonzero(created >= 0)
+        src = self._psrc[b, sel]
+        dst = self._pdst[b, sel]
+        size = self._psize[b, sel]
+        inj = self._pinj[b, sel]
+        dlv = self._pdel[b, sel]
+        seq = self._pseq[b, sel]
+        # never-injected packets keep their creation-order sequence stamp
+        # (what SequenceCounter.make assigned): rank within the (src, dst)
+        # pair in creation order, which for dense ids is pid order
+        pair = src * np.int64(self.S) + dst
+        order = np.argsort(pair, kind="stable")
+        rank = np.empty(sel.size, dtype=np.int64)
+        if sel.size:
+            spair = pair[order]
+            first = np.empty(sel.size, dtype=bool)
+            first[0] = True
+            np.not_equal(spair[1:], spair[:-1], out=first[1:])
+            gstart = np.flatnonzero(first)
+            pos = np.arange(sel.size, dtype=np.int64)
+            rank[order] = pos - np.repeat(gstart, np.diff(np.append(gstart, sel.size)))
+        seqs = np.where(inj >= 0, seq, rank)
+        ends = self._cn.end_ids
+        out: dict[int, Packet] = {}
+        for i in range(sel.size):
+            pid = int(sel[i])
+            out[pid] = Packet(
+                pid,
+                ends[int(src[i])],
+                ends[int(dst[i])],
+                int(size[i]),
+                created=int(created[sel[i]]),
+                sequence=int(seqs[i]),
+                injected=None if inj[i] < 0 else int(inj[i]),
+                delivered=None if dlv[i] < 0 else int(dlv[i]),
+            )
+        return out
+
+
+class VecSim:
+    """Single-run facade adapter over a ``B = 1`` :class:`VecCore`.
+
+    This is what :class:`~repro.sim.network_sim.WormholeSim` holds when
+    ``engine="vectorized"`` resolves: the reference-shaped attribute
+    surface (``run``/``finalize``/``stats``/``packets``/``cycle``) over
+    one replica, so parity checks and the sweep machinery stay oblivious.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        tables: RoutingTable,
+        traffic: "TrafficGenerator | UniformPlan",
+        config: SimConfig | None = None,
+    ) -> None:
+        self.net = net
+        self.tables = tables
+        self.config = config or SimConfig()
+        self.traffic = traffic
+        self.vc_select = None
+        self.route_override = None
+        self.on_deliver = None
+        self.fault = None
+        self.trace = None
+        self.probe = None
+        self.recovery = None
+        self.core = VecCore(net, tables, [traffic], self.config)
+        self._stats: SimStats | None = None
+        self._stats_at = -1
+
+    @property
+    def cycle(self) -> int:
+        return self.core.cycle_of(0)
+
+    @property
+    def stats(self) -> SimStats:
+        if self._stats is None or self._stats_at != self.cycle:
+            self._stats = self.core.stats_of(0)
+            self._stats_at = self.cycle
+        return self._stats
+
+    @property
+    def packets(self) -> dict[int, Packet]:
+        return self.core.packets_of(0)
+
+    @property
+    def in_flight(self) -> int:
+        return int(self.core.in_flight[0])
+
+    @property
+    def backlog(self) -> int:
+        return int(self.core._backlog[0])
+
+    def run(self, max_cycles: int, drain: bool = False) -> SimStats:
+        self.core.run(max_cycles, drain=drain)
+        self._stats = None
+        return self.stats
+
+    def finalize(self) -> SimStats:
+        self.core.finalize()
+        self._stats = None
+        return self.stats
+
+    def link_flit_snapshot(self) -> dict[str, int]:
+        link_ids = self.core._cn.link_ids
+        self.core._flush_lf()
+        row = self.core._lf[0]
+        return {link_ids[int(li)]: int(row[li]) for li in np.flatnonzero(row)}
+
+    def occupied_buffer_count(self) -> int:
+        return int((self.core._fifo_len.reshape(1, -1) > 0).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VecSim cycle={self.cycle}>"

@@ -78,7 +78,7 @@ def test_acyclic_cdg_implies_no_simulated_deadlock(case, depth, size, seed, dela
     """The theorem, exercised: deadlock-free routing never hangs."""
     net, tables = case
     # Keep the offered load below even a thin fractahedron's 4-link
-    # bisection so the drain budget is sufficient: congestion is allowed,
+    # bisection so the drain stays short: congestion is allowed,
     # livelock/deadlock is not.
     traffic = uniform_traffic(
         net.end_node_ids(), rate=0.03, packet_size=size, seed=seed
@@ -96,16 +96,8 @@ def test_acyclic_cdg_implies_no_simulated_deadlock(case, depth, size, seed, dela
     )
     stats = sim.run(250, drain=True)
     assert not stats.deadlocked
-    # Liveness: deep router pipelines with shallow buffers cut throughput,
-    # so the fixed drain budget may expire under load -- but a certified
-    # network always finishes given more time.  Keep draining in bounded
-    # slices and require completion.
-    for _ in range(60):
-        if not (sim.in_flight or sim.backlog):
-            break
-        for _ in range(500):
-            sim.step(generate=False)
-        assert not sim.stats.deadlocked
+    # Liveness: the drain budget only burns on zero-progress cycles, so a
+    # certified network always finishes its backlog within one drain.
     assert stats.packets_delivered == stats.packets_offered
     stats = sim.finalize()
     assert stats.in_order_violations == []

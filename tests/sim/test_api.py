@@ -1,0 +1,198 @@
+"""The repro.sim.api facade: SimSpec value semantics, run/run_batch
+parity, batching eligibility, and the deprecation fence around direct
+WormholeSim construction from experiment drivers."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.obs.parity import compare_signatures, stats_signature
+from repro.routing.cache import cached_tables
+from repro.sim import api
+from repro.sim.engine import SimConfig
+from repro.sim.network_sim import WormholeSim
+from repro.sim.parallel import NetworkSpec
+from repro.sim.traffic import uniform_traffic
+from repro.sim.vec import UniformPlan, vec_blockers
+from repro.topology.mesh import mesh
+
+CFG = SimConfig(raise_on_deadlock=False, stall_threshold=400)
+
+
+@pytest.fixture(scope="module")
+def small():
+    net = mesh((3, 3), nodes_per_router=1)
+    return net, cached_tables(net)
+
+
+def spec_for(target, rate=0.05, seed=7, engine="auto", **cfg):
+    config = dataclasses.replace(CFG, engine=engine, **cfg)
+    return api.SimSpec(
+        network=target,
+        traffic=UniformPlan(rate, 4, seed),
+        config=config,
+        cycles=300,
+        drain=True,
+    )
+
+
+class TestSimSpec:
+    def test_hashable_and_round_trips(self):
+        net_spec = NetworkSpec.make("mesh", shape=(3, 3), nodes_per_router=1)
+        a = spec_for(net_spec)
+        b = spec_for(net_spec)
+        assert a == b and hash(a) == hash(b)
+        # usable as a cache key
+        cache = {a: "result"}
+        assert cache[b] == "result"
+        assert a != spec_for(net_spec, rate=0.06)
+        assert a != dataclasses.replace(a, cycles=301)
+
+    def test_resolve_and_build_traffic(self, small):
+        net, tables = small
+        spec = spec_for((net, tables))
+        rnet, rtables = spec.resolve()
+        assert rnet is net and rtables is tables
+        stream = spec.build_traffic(rnet)
+        # a UniformPlan materializes to the generator uniform_traffic makes
+        assert callable(stream)
+        # non-plan traffic passes through untouched
+        gen = uniform_traffic(net.end_node_ids(), 0.05, 4, 7)
+        passthrough = dataclasses.replace(spec, traffic=gen)
+        assert passthrough.build_traffic(rnet) is gen
+
+
+class TestRunParity:
+    def test_run_equals_run_batch_of_one(self, small):
+        net, tables = small
+        spec = spec_for((net, tables))
+        solo = api.run(spec)
+        batched = api.run_batch([spec])
+        assert len(batched) == 1
+        assert solo == batched[0]
+
+    def test_forced_vectorized_matches_compiled(self, small):
+        net, tables = small
+        vec = api.execute(spec_for((net, tables), engine="vectorized"))
+        com = api.execute(spec_for((net, tables), engine="compiled"))
+        assert vec.engine == "vectorized" and com.engine == "compiled"
+
+        class _Shaped:
+            def __init__(self, r):
+                self.stats, self.packets = r.stats, r.packets
+
+        diffs = compare_signatures(
+            stats_signature(_Shaped(com)), stats_signature(_Shaped(vec))
+        )
+        assert diffs == []
+
+    def test_batched_group_is_bit_identical_to_per_spec_runs(self, small):
+        net, tables = small
+        specs = [spec_for((net, tables), rate=r) for r in (0.02, 0.05, 0.08)]
+        grouped = api.execute_batch(specs)
+        # a 3-spec eligible group advances through the vectorized core
+        assert [r.engine for r in grouped] == ["vectorized"] * 3
+        for spec, res in zip(specs, grouped):
+            solo = api.execute(spec)  # auto batch-of-1 -> compiled
+            assert solo.engine != "vectorized"
+            assert solo.stats == res.stats
+            assert {
+                p: (q.created, q.injected, q.delivered)
+                for p, q in solo.packets.items()
+            } == {
+                p: (q.created, q.injected, q.delivered)
+                for p, q in res.packets.items()
+            }
+
+    def test_results_come_back_in_input_order(self, small):
+        net, tables = small
+        mixed = [
+            spec_for((net, tables), rate=0.05),
+            spec_for((net, tables), rate=0.05, engine="reference"),
+            spec_for((net, tables), rate=0.02),
+        ]
+        results = api.execute_batch(mixed)
+        assert len(results) == len(mixed)
+        for spec, res in zip(mixed, results):
+            assert res.stats == api.run(spec)
+
+
+class TestBatchingEligibility:
+    def test_singleton_auto_group_uses_compiled(self, small):
+        net, tables = small
+        (res,) = api.execute_batch([spec_for((net, tables))])
+        assert res.engine != "vectorized"
+
+    def test_singleton_forced_vectorized_stays_vectorized(self, small):
+        net, tables = small
+        (res,) = api.execute_batch([spec_for((net, tables), engine="vectorized")])
+        assert res.engine == "vectorized"
+
+    @pytest.mark.parametrize(
+        "make_spec",
+        [
+            lambda net, tables: spec_for((net, tables), engine="compiled"),
+            lambda net, tables: spec_for((net, tables), engine="reference"),
+            lambda net, tables: spec_for(
+                (net, tables), switching="store_and_forward", buffer_depth=4
+            ),
+            lambda net, tables: dataclasses.replace(
+                spec_for((net, tables)),
+                traffic=uniform_traffic(net.end_node_ids(), 0.05, 4, 7),
+            ),
+        ],
+        ids=["compiled", "reference", "store_and_forward", "generator-traffic"],
+    )
+    def test_ineligible_specs_fall_back_per_spec(self, small, make_spec):
+        net, tables = small
+        specs = [make_spec(net, tables), make_spec(net, tables)]
+        results = api.execute_batch(specs)
+        assert all(r.engine != "vectorized" for r in results)
+
+    def test_blocker_list_names_each_unsupported_feature(self):
+        cfg = dataclasses.replace(CFG, switching="store_and_forward")
+        blockers = vec_blockers(cfg, probe=object(), trace=object())
+        assert any("switching" in b for b in blockers)
+        assert "probe" in blockers and "trace" in blockers
+        assert vec_blockers(CFG) == []
+
+
+class TestConfigValidationAndDeprecation:
+    def test_engine_field_is_validated(self):
+        with pytest.raises(ValueError):
+            SimConfig(engine="turbo")
+
+    def test_vectorized_engine_rejects_blocked_features(self, small):
+        net, tables = small
+        cfg = dataclasses.replace(CFG, engine="vectorized")
+        with pytest.raises(ValueError, match="vectorized"):
+            api.make_sim(
+                net,
+                tables,
+                uniform_traffic(net.end_node_ids(), 0.05, 4, 7),
+                cfg,
+                on_deliver=lambda *a: [],
+            )
+
+    def test_direct_construction_from_experiments_warns(self, small):
+        net, tables = small
+        # compile a caller whose module claims to be an experiment driver:
+        # the fence keys on the constructing frame's __name__
+        fake_globals = {"__name__": "repro.experiments.fake"}
+        exec(
+            "def build(cls, net, tables, traffic, cfg):\n"
+            "    return cls(net, tables, traffic, cfg)\n",
+            fake_globals,
+        )
+        traffic = uniform_traffic(net.end_node_ids(), 0.02, 4, 1)
+        with pytest.warns(DeprecationWarning, match="repro.sim.api"):
+            fake_globals["build"](WormholeSim, net, tables, traffic, CFG)
+
+    def test_make_sim_does_not_warn(self, small):
+        net, tables = small
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.make_sim(
+                net, tables, uniform_traffic(net.end_node_ids(), 0.02, 4, 1), CFG
+            )

@@ -36,8 +36,12 @@ def test_worst_pair_names_real_nodes():
             assert src != dst
 
 
-def test_drain_budget_expiry_returns_gracefully():
-    """Oversubscribed drains stop at the budget instead of hanging."""
+def test_oversubscribed_drain_completes_in_bounded_time():
+    """The drain budget only burns on zero-progress cycles, so even a
+    badly oversubscribed network delivers its whole backlog instead of
+    cutting off mid-drain (and still terminates, because movement-free
+    cycles are bounded by the budget and finite backlogs cannot move
+    flits forever)."""
     from repro.core.fractahedron import thin_fractahedron
     from repro.core.routing import fractahedral_tables
     from repro.sim.engine import SimConfig
@@ -55,8 +59,8 @@ def test_drain_budget_expiry_returns_gracefully():
     )
     stats = sim.run(200, drain=True)
     assert not stats.deadlocked
-    assert stats.packets_delivered < stats.packets_offered  # budget expired
-    assert stats.cycles > 200  # it did try to drain
+    assert stats.packets_delivered == stats.packets_offered
+    assert stats.cycles > 200  # it did have to drain well past the run window
 
 
 def test_sequence_counter_direct():
