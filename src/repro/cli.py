@@ -93,11 +93,23 @@ def _point_rows(points) -> list[dict[str, Any]]:
     return rows
 
 
+def _cache_row() -> dict[str, Any]:
+    """Routing-table cache counters at export time, as one metrics row.
+
+    Dropped whole by the deterministic view (timings and hit ratios vary
+    with process history), but surfaced by ``fractanet report`` so table
+    build cost and fragment reuse are visible next to the run they paid for.
+    """
+    from repro.routing.cache import DEFAULT_CACHE
+
+    return {"kind": "cache", **DEFAULT_CACHE.stats.as_dict()}
+
+
 def _write_metrics_file(path: str, rows: list[dict[str, Any]]) -> None:
     from repro.obs import write_metrics
 
-    write_metrics(path, rows)
-    print(f"wrote {len(rows)} metric row(s) to {path}")
+    write_metrics(path, [*rows, _cache_row()])
+    print(f"wrote {len(rows) + 1} metric row(s) to {path}")
 
 
 def cmd_experiments(_args) -> int:

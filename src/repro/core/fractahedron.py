@@ -45,6 +45,7 @@ from repro.core.generalized import (
 from repro.network.graph import Network
 
 __all__ = [
+    "MAX_LEVELS",
     "FractaParams",
     "fat_fractahedron",
     "fractahedron",
@@ -55,6 +56,11 @@ __all__ = [
 
 #: The 2-3-1 split is a property of the 6-port first-generation ASIC.
 ROUTER_RADIX = 6
+
+#: Deepest supported hierarchy.  Depth 5 is 32,768 tetrahedrons (65,536
+#: ends with fanout 2) -- already past anything the paper contemplates;
+#: deeper requests fail fast with the growth arithmetic in the message.
+MAX_LEVELS = 5
 
 
 @dataclass(frozen=True)
@@ -67,15 +73,25 @@ class FractaParams:
     router_radix: int = ROUTER_RADIX
 
     def __post_init__(self) -> None:
-        if self.levels < 1:
-            raise ValueError("levels must be >= 1")
+        if not 1 <= self.levels <= MAX_LEVELS:
+            raise ValueError(
+                f"levels={self.levels} is outside the supported depth range "
+                f"1..{MAX_LEVELS} (each level multiplies the fabric by 8; "
+                f"depth {MAX_LEVELS} already reaches "
+                f"{CHILDREN_PER_GROUP ** MAX_LEVELS} directly-attached nodes)"
+            )
         if self.router_radix != ROUTER_RADIX:
             raise ValueError(
                 "the 2-3-1 split is defined for 6-port routers; use "
                 "repro.core.generalized.GeneralFractaParams for other radices"
             )
-        if self.fanout_width is not None and self.fanout_width < 1:
-            raise ValueError("fanout_width must be >= 1")
+        if self.fanout_width is not None and not (
+            1 <= self.fanout_width <= ROUTER_RADIX - 1
+        ):
+            raise ValueError(
+                f"fanout_width={self.fanout_width} does not fit a 6-port "
+                f"fan-out router (1 up port + at most {ROUTER_RADIX - 1} end nodes)"
+            )
 
     def general(self) -> GeneralFractaParams:
         """The equivalent parametric shape (M=4 assemblies of radix 6)."""
@@ -130,6 +146,13 @@ def fat_fractahedron(
     ``fat_fractahedron(2)`` (the default) is the 64-node, 48-router
     network of Figure 7 and Table 2; ``fat_fractahedron(3, fanout_width=2)`` is the paper's
     1024-CPU system with ten worst-case router delays.
+
+    Args:
+        levels: hierarchy depth N, supported range 1..5 (depth 3 is the
+            paper's 1024-CPU fabric, depth 4 reaches 8K-16K end nodes).
+        fanout_width: end nodes per fan-out router on each down port,
+            range 1..5, or None to attach end nodes directly.
+        router_radix: ports per router; must be 6 (the 2-3-1 ASIC split).
     """
     return fractahedron(FractaParams(levels, fat=True, fanout_width=fanout_width,
                                      router_radix=router_radix))
@@ -145,6 +168,13 @@ def thin_fractahedron(
     ``thin_fractahedron(3, fanout_width=2)`` is the paper's 1024-CPU thin
     system with twelve worst-case router delays and bisection fixed at
     four links.
+
+    Args:
+        levels: hierarchy depth N, supported range 1..5 (depth 3 is the
+            paper's 1024-CPU fabric, depth 4 reaches 8K-16K end nodes).
+        fanout_width: end nodes per fan-out router on each down port,
+            range 1..5, or None to attach end nodes directly.
+        router_radix: ports per router; must be 6 (the 2-3-1 ASIC split).
     """
     return fractahedron(FractaParams(levels, fat=False, fanout_width=fanout_width,
                                      router_radix=router_radix))

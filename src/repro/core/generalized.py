@@ -34,12 +34,19 @@ from repro.network.graph import Network
 from repro.routing.base import RoutingError, RoutingTable
 
 __all__ = [
+    "MAX_END_NODES",
     "GeneralFractaParams",
     "general_fanout_id",
     "general_fractahedron",
     "general_router_id",
     "general_tables",
 ]
+
+#: Largest fabric the builders will attempt (end-node count).  Depth-5
+#: thin fanout-2 (65,536 ends) fits; anything beyond fails here with the
+#: parameter arithmetic spelled out instead of deep inside the cabling
+#: loops after minutes of work.
+MAX_END_NODES = 1 << 17
 
 
 @dataclass(frozen=True)
@@ -73,8 +80,22 @@ class GeneralFractaParams:
                 f"radix {self.router_radix} leaves no down ports for "
                 f"M={self.assembly_size} (needs M-1 intra + 1 up + >=1 down)"
             )
-        if self.fanout_width is not None and self.fanout_width < 1:
-            raise ValueError("fanout_width must be >= 1")
+        if self.fanout_width is not None and not (
+            1 <= self.fanout_width <= self.router_radix - 1
+        ):
+            raise ValueError(
+                f"fanout_width={self.fanout_width} does not fit a "
+                f"{self.router_radix}-port fan-out router "
+                f"(1 up port + at most {self.router_radix - 1} end nodes)"
+            )
+        if self.num_nodes > MAX_END_NODES:
+            raise ValueError(
+                f"levels={self.levels} with M={self.assembly_size}, "
+                f"d={self.down_ports}, fanout_width={self.fanout_width} "
+                f"builds {self.num_nodes} end nodes, over the supported "
+                f"maximum of {MAX_END_NODES}; reduce levels (each level "
+                f"multiplies the node count by {self.children_per_group})"
+            )
 
     @property
     def corners(self) -> int:
@@ -229,7 +250,21 @@ def _decode(value: int, params: GeneralFractaParams) -> tuple[int, int, int]:
 
 
 def general_tables(net: Network) -> RoutingTable:
-    """Compile depth-first routing tables for a generalized fractahedron."""
+    """Compile depth-first routing tables for a generalized fractahedron.
+
+    The §2.3 routing rule -- ascend while the destination's high-order
+    address bits differ, descend matching one child index per level with
+    at most one lateral hop per assembly -- is evaluated per *router* over
+    the whole destination address vector at once, filling one row of a
+    dense :class:`~repro.routing.base.ArrayRoutingTable`.  The old
+    per-(destination, router) Python walk re-scanned every router's port
+    list for every one of its ``R x E`` entries, which is what made
+    depth-3 fabrics take seconds and depth-4 minutes.
+    """
+    import numpy as np
+
+    from repro.routing.base import ArrayRoutingTable
+
     levels = net.attrs.get("levels")
     fat = net.attrs.get("fat")
     m = net.attrs.get("assembly_size")
@@ -238,84 +273,107 @@ def general_tables(net: Network) -> RoutingTable:
     if levels is None or m is None:
         raise RoutingError("network lacks generalized-fractahedron attributes")
     cpg = m * d
-    params = GeneralFractaParams(
-        levels, assembly_size=m, router_radix=net.attrs["router_radix"],
-        fat=fat, fanout_width=fanout,
+
+    idx = net.indices()
+    E = len(idx.end_ids)
+    addr = np.fromiter(
+        (net.node(e).attrs["address"] for e in idx.end_ids), dtype=np.int64, count=E
     )
+    # Vectorized :func:`_decode` over every destination at once.
+    a2 = addr // fanout if fanout else addr
+    value, dest_port = np.divmod(a2, d)
+    dest_tetra, dest_corner = np.divmod(value, m)
 
-    tables = RoutingTable()
-    for dest in net.end_node_ids():
-        address = net.node(dest).attrs["address"]
-        dest_tetra, dest_corner, dest_port = _decode(address, params)
+    table = ArrayRoutingTable(idx)
+    ports_mat = table.ports
+    end_ids = idx.end_ids
 
-        if fanout:
-            for router in net.routers():
-                if not router.attrs.get("fanout"):
-                    continue
-                rid = router.node_id
-                if (
-                    router.attrs["tetra"] == dest_tetra
-                    and router.attrs["corner"] == dest_corner
-                    and router.attrs["port"] == dest_port
-                ):
-                    tables.set(rid, dest, _port_to(net, rid, dest))
-                else:
-                    up = general_router_id(1, router.attrs["tetra"], 0, router.attrs["corner"])
-                    tables.set(rid, dest, _port_to(net, rid, up))
+    def neighbor_ports(rid: str) -> dict[str, int]:
+        """Lowest output port toward each neighbor (one port scan total)."""
+        out: dict[str, int] = {}
+        for link in net.out_links(rid):
+            out.setdefault(link.dst, link.src_port)
+        return out
 
-        for router in net.routers():
-            if router.attrs.get("fanout"):
-                continue
-            rid = router.node_id
-            level = router.attrs["level"]
-            group = router.attrs["group"]
-            layer = router.attrs["layer"]
-            corner = router.attrs["corner"]
-            dest_group = dest_tetra // (cpg ** (level - 1))
-            if dest_group == group:
-                port = _descend(
-                    net, rid, level, group, layer, corner,
-                    dest_tetra, dest_corner, dest_port, address,
-                    m, d, cpg, fanout,
-                )
+    def port_toward(rid: str, nbr: dict[str, int], target: str) -> int:
+        port = nbr.get(target)
+        if port is None:
+            raise RoutingError(f"no link {rid!r} -> {target!r}")
+        return port
+
+    for router in net.routers():
+        rid = router.node_id
+        attrs = router.attrs
+        nbr = neighbor_ports(rid)
+        row = ports_mat[idx.router_index[rid]]
+
+        if attrs.get("fanout"):
+            tetra, corner, port = attrs["tetra"], attrs["corner"], attrs["port"]
+            mine = (dest_tetra == tetra) & (dest_corner == corner) & (dest_port == port)
+            others = ~mine
+            if others.any():
+                up = general_router_id(1, tetra, 0, corner)
+                row[others] = port_toward(rid, nbr, up)
+            for e in np.flatnonzero(mine):
+                row[e] = port_toward(rid, nbr, end_ids[e])
+            continue
+
+        level = attrs["level"]
+        group = attrs["group"]
+        layer = attrs["layer"]
+        corner = attrs["corner"]
+        in_group = (dest_tetra // (cpg ** (level - 1))) == group
+
+        outside = ~in_group
+        if outside.any():
+            # Ascend: the local inter-level link (thin: via corner 0).
+            if not fat and corner != 0:
+                target = general_router_id(level, group, layer, 0)
             else:
-                port = _ascend(net, rid, level, group, layer, corner, fat, m, cpg, d)
-            tables.set(rid, dest, port)
-    return tables
+                parent_group, position = divmod(group, cpg)
+                parent_corner = position // d
+                parent_layer = layer * m + corner if fat else 0
+                target = general_router_id(
+                    level + 1, parent_group, parent_layer, parent_corner
+                )
+            row[outside] = port_toward(rid, nbr, target)
 
-
-def _descend(
-    net, rid, level, group, layer, corner,
-    dest_tetra, dest_corner, dest_port, address,
-    m, d, cpg, fanout,
-) -> int:
-    if level == 1:
-        if corner != dest_corner:
-            return _port_to(net, rid, general_router_id(1, group, 0, dest_corner))
-        if fanout:
-            return _port_to(net, rid, general_fanout_id(group, corner, dest_port))
-        return _port_to(net, rid, f"n{address}")
-    child = (dest_tetra // (cpg ** (level - 2))) % cpg
-    owner = child // d
-    if corner != owner:
-        return _port_to(net, rid, general_router_id(level, group, layer, owner))
-    child_group = group * cpg + child
-    child_router = general_router_id(level - 1, child_group, layer // m, layer % m)
-    return _port_to(net, rid, child_router)
-
-
-def _ascend(net, rid, level, group, layer, corner, fat, m, cpg, d) -> int:
-    if not fat and corner != 0:
-        return _port_to(net, rid, general_router_id(level, group, layer, 0))
-    parent_group, position = divmod(group, cpg)
-    parent_corner = position // d
-    parent_layer = layer * m + corner if fat else 0
-    parent = general_router_id(level + 1, parent_group, parent_layer, parent_corner)
-    return _port_to(net, rid, parent)
-
-
-def _port_to(net: Network, src: str, dst: str) -> int:
-    links = net.links_between(src, dst)
-    if not links:
-        raise RoutingError(f"no link {src!r} -> {dst!r}")
-    return links[0].src_port
+        ig = np.flatnonzero(in_group)
+        if not ig.size:
+            continue
+        if level == 1:
+            dc = dest_corner[ig]
+            lateral = dc != corner
+            if lateral.any():
+                lat = np.full(m, -1, dtype=np.int16)
+                for c in np.unique(dc[lateral]).tolist():
+                    lat[c] = port_toward(rid, nbr, general_router_id(1, group, 0, c))
+                row[ig[lateral]] = lat[dc[lateral]]
+            own = ig[~lateral]
+            if fanout:
+                fp = np.full(d, -1, dtype=np.int16)
+                for p in np.unique(dest_port[own]).tolist():
+                    fp[p] = port_toward(rid, nbr, general_fanout_id(group, corner, p))
+                row[own] = fp[dest_port[own]]
+            else:
+                for e in own.tolist():
+                    row[e] = port_toward(rid, nbr, end_ids[e])
+        else:
+            child = (dest_tetra[ig] // (cpg ** (level - 2))) % cpg
+            owner = child // d
+            lateral = owner != corner
+            if lateral.any():
+                lat = np.full(m, -1, dtype=np.int16)
+                for c in np.unique(owner[lateral]).tolist():
+                    lat[c] = port_toward(rid, nbr, general_router_id(level, group, layer, c))
+                row[ig[lateral]] = lat[owner[lateral]]
+            down = ~lateral
+            if down.any():
+                cp = np.full(cpg, -1, dtype=np.int16)
+                for c in np.unique(child[down]).tolist():
+                    child_router = general_router_id(
+                        level - 1, group * cpg + c, layer // m, layer % m
+                    )
+                    cp[c] = port_toward(rid, nbr, child_router)
+                row[ig[down]] = cp[child[down]]
+    return table

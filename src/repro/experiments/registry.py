@@ -201,6 +201,7 @@ def _ensure_defaults() -> None:
         fig2_hypercube,
         fig3_assemblies,
         future_simulation,
+        scale_study,
         sec24_deadlock,
         sec31_mesh,
         sec32_hypercube,
@@ -221,6 +222,7 @@ def _ensure_defaults() -> None:
         "sec24": sec24_deadlock,
         "adaptive": adaptive_order,
         "faults": fault_study,
+        "scale": scale_study,
         "futurework": future_simulation,
         "ablations": ablations,
     }.items():

@@ -1,0 +1,231 @@
+"""Scale study: thousand-router fractahedrons end to end (§4.0 scaling).
+
+The paper stops at a 1024-CPU fractahedron on paper; this driver builds it
+(and its smaller siblings) for real and measures the whole pipeline at each
+depth: topology construction, hierarchical routing-table build (with its
+per-level fragment cache statistics), the whole-graph BFS oracle it must
+match bit-for-bit, lowering/compilation of the simulator IR, and the
+compiled wormhole engine's cycles/second under light uniform load.
+
+At the top depth the measured fabric is validated against the Table 1
+closed forms (node count, worst-case delay, bisection), so the scale path
+re-proves the paper's arithmetic on the largest instance it touches.
+
+The destination sweep for the oracle cross-check is *full* on fabrics up
+to 128 end nodes (depths 1-2) and an evenly-spaced sample above that
+(depth 3's 1024 ends); ``oracle_full_est_s`` extrapolates the sampled
+oracle time to a full sweep, which is what ``speedup`` compares against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.analysis import (
+    fat_bisection_links,
+    fat_max_router_hops,
+    max_nodes,
+    thin_bisection_links,
+    thin_max_router_hops,
+)
+from repro.core.fractahedron import FractaParams, fractahedron
+from repro.core.routing import fractahedral_tables
+from repro.experiments.table1_fractahedron import worst_pair
+from repro.metrics.bisection import bisection_of_partition
+from repro.metrics.report import format_table
+from repro.routing.base import compute_route
+from repro.routing.cache import RoutingTableCache
+from repro.routing.hierarchical import hier_shortest_path_tables
+from repro.routing.shortest_path import shortest_path_tables
+from repro.sim import SimConfig, UniformPlan
+from repro.sim.api import make_sim
+from repro.sim.compile import compile_network
+
+__all__ = ["run", "report", "measure_depth", "FULL_SWEEP_MAX_ENDS"]
+
+FANOUT = 2
+
+#: Full-destination oracle sweeps up to this many end nodes (depths 1-2 of
+#: the fanout-2 fat fractahedron); larger fabrics get a sampled sweep.
+FULL_SWEEP_MAX_ENDS = 128
+
+
+def _sample_dests(net, sample: int) -> list[str]:
+    """Evenly spaced destination sample across the fractahedral address space."""
+    ends = net.end_node_ids()
+    if len(ends) <= sample:
+        return list(ends)
+    step = len(ends) / sample
+    return [ends[int(i * step)] for i in range(sample)]
+
+
+def measure_depth(
+    levels: int,
+    fat: bool = True,
+    sample_dests: int = 24,
+    sim_cycles: int = 200,
+    sim_rate: float = 0.02,
+    seed: int = 7,
+) -> dict:
+    """Build one fractahedron and measure its full scale-pipeline row."""
+    params = FractaParams(levels, fat=fat, fanout_width=FANOUT)
+
+    start = time.perf_counter()
+    net = fractahedron(params)
+    build_s = time.perf_counter() - start
+
+    cache = RoutingTableCache()
+    start = time.perf_counter()
+    hier = hier_shortest_path_tables(net, cache=cache)
+    hier_s = time.perf_counter() - start
+
+    full_sweep = net.num_end_nodes <= FULL_SWEEP_MAX_ENDS
+    dests = None if full_sweep else _sample_dests(net, sample_dests)
+    start = time.perf_counter()
+    oracle = shortest_path_tables(net, dests=dests)
+    oracle_s = time.perf_counter() - start
+    swept = net.num_end_nodes if full_sweep else len(dests)
+    oracle_full_est_s = oracle_s * net.num_end_nodes / swept
+
+    mismatches = sum(
+        1 for router, dest, port in oracle.items() if hier.lookup(router, dest) != port
+    )
+
+    start = time.perf_counter()
+    frac = fractahedral_tables(net)
+    frac_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled = compile_network(net)
+    compile_s = time.perf_counter() - start
+
+    # Setup (IR lowering; the CompiledNet memo already holds the compile)
+    # is timed apart from the steady-state engine throughput.
+    traffic = UniformPlan(rate=sim_rate, packet_size=2, seed=seed).build(net)
+    start = time.perf_counter()
+    sim = make_sim(net, frac, traffic, SimConfig(engine="compiled"))
+    lower_s = time.perf_counter() - start
+    start = time.perf_counter()
+    stats = sim.run(sim_cycles)
+    sim_s = time.perf_counter() - start
+
+    return {
+        "levels": levels,
+        "fat": fat,
+        "ends": net.num_end_nodes,
+        "routers": net.num_routers,
+        "channels": compiled.num_channels,
+        "build_s": round(build_s, 4),
+        "hier_table_s": round(hier_s, 4),
+        "oracle_s": round(oracle_s, 4),
+        "oracle_full_est_s": round(oracle_full_est_s, 4),
+        "oracle_dests_swept": swept,
+        "oracle_full_sweep": full_sweep,
+        "speedup": round(oracle_full_est_s / hier_s, 2) if hier_s else float("inf"),
+        "mismatches": mismatches,
+        "fragment_hits": cache.stats.fragment_hits,
+        "fragment_misses": cache.stats.fragment_misses,
+        "level_seconds": {k: round(v, 4) for k, v in cache.stats.level_seconds.items()},
+        "frac_table_s": round(frac_s, 4),
+        "compile_s": round(compile_s, 4),
+        "lower_s": round(lower_s, 4),
+        "sim_s": round(sim_s, 4),
+        "cycles_per_sec": round(stats.cycles / sim_s, 1) if sim_s else 0.0,
+        "packets_delivered": stats.packets_delivered,
+    }
+
+
+def _validate_top(row: dict) -> dict:
+    """Re-prove the Table 1 closed forms on the study's largest fabric."""
+    levels, fat = row["levels"], row["fat"]
+    params = FractaParams(levels, fat=fat, fanout_width=FANOUT)
+    net = fractahedron(params)
+    tables = fractahedral_tables(net)
+
+    src, dst = worst_pair(params)
+    worst = compute_route(net, tables, src, dst)
+    delay_formula = (
+        fat_max_router_hops(levels) if fat else thin_max_router_hops(levels)
+    ) + 2  # fan-out stage adds one hop each side (Table 1 footnote)
+
+    half = net.num_end_nodes // 2
+    bisection = bisection_of_partition(net, [f"n{i}" for i in range(half)])
+    bisection_formula = fat_bisection_links(levels) if fat else thin_bisection_links(levels)
+
+    return {
+        "levels": levels,
+        "fat": fat,
+        "nodes": net.num_end_nodes,
+        "nodes_formula": max_nodes(levels, FANOUT),
+        "worst_pair_hops": worst.router_hops,
+        "delay_formula": delay_formula,
+        "bisection": bisection,
+        "bisection_formula": bisection_formula,
+        "nodes_ok": net.num_end_nodes == max_nodes(levels, FANOUT),
+        "delay_ok": worst.router_hops == delay_formula,
+        "bisection_ok": bisection == bisection_formula,
+    }
+
+
+def run(
+    max_levels: int = 3,
+    fat: bool = True,
+    sample_dests: int = 24,
+    sim_cycles: int = 200,
+) -> dict:
+    rows = [
+        measure_depth(levels, fat=fat, sample_dests=sample_dests, sim_cycles=sim_cycles)
+        for levels in range(1, max_levels + 1)
+    ]
+    return {"rows": rows, "validation": _validate_top(rows[-1])}
+
+
+def report(max_levels: int = 3) -> str:
+    result = run(max_levels)
+    table = []
+    for r in result["rows"]:
+        oracle = f"{r['oracle_full_est_s']:.3f}"
+        if not r["oracle_full_sweep"]:
+            oracle += f" (est from {r['oracle_dests_swept']} dests)"
+        table.append(
+            [
+                r["levels"],
+                r["ends"],
+                r["routers"],
+                f"{r['build_s']:.3f}",
+                f"{r['hier_table_s']:.3f}",
+                oracle,
+                f"{r['speedup']:.1f}x",
+                r["mismatches"],
+                f"{r['fragment_misses']}/{r['fragment_hits']}",
+                f"{r['compile_s']:.3f}",
+                f"{r['cycles_per_sec']:.0f}",
+            ]
+        )
+    v = result["validation"]
+    checks = (
+        f"top depth N={v['levels']}: nodes {v['nodes']} (={v['nodes_formula']}), "
+        f"worst delay {v['worst_pair_hops']} (={v['delay_formula']}), "
+        f"bisection {v['bisection']} (={v['bisection_formula']})"
+    )
+    return (
+        format_table(
+            [
+                "N",
+                "ends",
+                "routers",
+                "build s",
+                "hier s",
+                "oracle s",
+                "speedup",
+                "mismatch",
+                "frag m/h",
+                "compile s",
+                "cyc/s",
+            ],
+            table,
+            title="Scale study: build/table/compile/sim pipeline vs depth (fat, fanout 2)",
+        )
+        + "\n"
+        + checks
+    )

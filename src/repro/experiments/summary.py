@@ -102,6 +102,22 @@ HEADLINE_CHECKS: dict[str, Any] = {
             ),
         ),
     ],
+    "scale": lambda r: [
+        (
+            "hierarchical tables match the whole-graph oracle at every depth",
+            all(row["mismatches"] == 0 for row in r["rows"]),
+        ),
+        (
+            "thousand-node fabric simulates on the compiled engine",
+            r["rows"][-1]["ends"] >= 1024 and r["rows"][-1]["packets_delivered"] > 0,
+        ),
+        (
+            "Table 1 formulas hold at the top depth",
+            r["validation"]["nodes_ok"]
+            and r["validation"]["delay_ok"]
+            and r["validation"]["bisection_ok"],
+        ),
+    ],
 }
 
 

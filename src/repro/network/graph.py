@@ -148,6 +148,18 @@ class Network:
         #: so derived artifacts (index maps, compiled IRs) can detect staleness
         self._version = 0
         self._indices: "NetworkIndices | None" = None
+        #: insertion-ordered id arenas, so router/end iteration is O(kind
+        #: size) instead of a full-node scan (which turned every table
+        #: build into an O(N^2) pass on deep fractahedrons)
+        self._router_ids: list[str] = []
+        self._end_ids: list[str] = []
+        #: append journals since ``_indices`` was built -- additions extend
+        #: the cached index maps in place of a from-scratch rebuild;
+        #: destructive mutations (disconnect, remove_node) force one
+        self._new_routers: list[str] = []
+        self._new_ends: list[str] = []
+        self._new_links: list[str] = []
+        self._indices_dirty = False
 
     # ------------------------------------------------------------------
     # construction
@@ -168,12 +180,20 @@ class Network:
         self._nodes[node.node_id] = node
         self._out_ports[node.node_id] = {}
         self._in_ports[node.node_id] = {}
+        if node.is_router:
+            self._router_ids.append(node.node_id)
+            self._new_routers.append(node.node_id)
+        else:
+            self._end_ids.append(node.node_id)
+            self._new_ends.append(node.node_id)
         self._touch()
         return node
 
-    def _touch(self) -> None:
+    def _touch(self, destructive: bool = False) -> None:
         self._version += 1
-        self._indices = None
+        if destructive:
+            self._indices = None
+            self._indices_dirty = True
 
     def connect(
         self,
@@ -208,6 +228,8 @@ class Network:
         self._in_ports[a][a_port] = rev.link_id
         self._out_ports[b][b_port] = rev.link_id
         self._in_ports[b][b_port] = fwd.link_id
+        self._new_links.append(fwd.link_id)
+        self._new_links.append(rev.link_id)
         self._touch()
         return fwd, rev
 
@@ -223,17 +245,21 @@ class Network:
             del self._links[l.link_id]
             del self._out_ports[l.src][l.src_port]
             del self._in_ports[l.dst][l.dst_port]
-        self._touch()
+        self._touch(destructive=True)
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every cable attached to it."""
-        self.node(node_id)
+        node = self.node(node_id)
         for link in list(self.out_links(node_id)):
             self.disconnect(link.link_id)
         del self._nodes[node_id]
         del self._out_ports[node_id]
         del self._in_ports[node_id]
-        self._touch()
+        if node.is_router:
+            self._router_ids.remove(node_id)
+        else:
+            self._end_ids.remove(node_id)
+        self._touch(destructive=True)
 
     # ------------------------------------------------------------------
     # queries
@@ -269,16 +295,16 @@ class Network:
         return list(self._links)
 
     def routers(self) -> list[Node]:
-        return [n for n in self._nodes.values() if n.is_router]
+        return [self._nodes[nid] for nid in self._router_ids]
 
     def end_nodes(self) -> list[Node]:
-        return [n for n in self._nodes.values() if n.is_end_node]
+        return [self._nodes[nid] for nid in self._end_ids]
 
     def router_ids(self) -> list[str]:
-        return [n.node_id for n in self._nodes.values() if n.is_router]
+        return list(self._router_ids)
 
     def end_node_ids(self) -> list[str]:
-        return [n.node_id for n in self._nodes.values() if n.is_end_node]
+        return list(self._end_ids)
 
     @property
     def version(self) -> int:
@@ -292,19 +318,46 @@ class Network:
         so holders can compare ``indices().version`` to detect staleness.
         """
         got = self._indices
-        if got is None:
+        if got is not None and got.version == self._version:
+            return got
+        if got is None or self._indices_dirty:
             link_ids = tuple(sorted(self._links))
-            router_ids = tuple(self.router_ids())
-            end_ids = tuple(self.end_node_ids())
-            got = self._indices = NetworkIndices(
+            got = NetworkIndices(
+                version=self._version,
+                link_ids=link_ids,
+                link_index={lid: i for i, lid in enumerate(link_ids)},
+                router_ids=tuple(self._router_ids),
+                router_index={r: i for i, r in enumerate(self._router_ids)},
+                end_ids=tuple(self._end_ids),
+                end_index={e: i for i, e in enumerate(self._end_ids)},
+            )
+        else:
+            # Append-only growth since the cached build: extend the router and
+            # end arenas in place and merge the new link ids into the sorted
+            # order (timsort is near-linear on the two pre-sorted runs).
+            router_ids = got.router_ids + tuple(self._new_routers)
+            end_ids = got.end_ids + tuple(self._new_ends)
+            link_ids = tuple(sorted(got.link_ids + tuple(self._new_links)))
+            router_index = dict(got.router_index)
+            for i in range(len(got.router_ids), len(router_ids)):
+                router_index[router_ids[i]] = i
+            end_index = dict(got.end_index)
+            for i in range(len(got.end_ids), len(end_ids)):
+                end_index[end_ids[i]] = i
+            got = NetworkIndices(
                 version=self._version,
                 link_ids=link_ids,
                 link_index={lid: i for i, lid in enumerate(link_ids)},
                 router_ids=router_ids,
-                router_index={r: i for i, r in enumerate(router_ids)},
+                router_index=router_index,
                 end_ids=end_ids,
-                end_index={e: i for i, e in enumerate(end_ids)},
+                end_index=end_index,
             )
+        self._indices = got
+        self._indices_dirty = False
+        self._new_routers.clear()
+        self._new_ends.clear()
+        self._new_links.clear()
         return got
 
     @property
@@ -317,11 +370,11 @@ class Network:
 
     @property
     def num_routers(self) -> int:
-        return sum(1 for n in self._nodes.values() if n.is_router)
+        return len(self._router_ids)
 
     @property
     def num_end_nodes(self) -> int:
-        return sum(1 for n in self._nodes.values() if n.is_end_node)
+        return len(self._end_ids)
 
     def out_links(self, node_id: str) -> list[Link]:
         """Outgoing links of a node, in port order."""

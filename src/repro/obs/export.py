@@ -6,7 +6,10 @@ A metrics file is a flat sequence of rows (dicts).  Row ``kind``s:
 * ``sample`` -- one probe snapshot (:mod:`repro.obs.probe`);
 * ``counter`` / ``gauge`` / ``histogram`` / ``span`` -- registry metrics
   (:mod:`repro.obs.metrics`);
-* ``point`` -- one sweep load point.
+* ``point`` -- one sweep load point;
+* ``cache`` -- routing-table cache counters at export time
+  (:class:`repro.routing.cache.CacheStats`), including the hierarchical
+  builder's fragment hit/miss counts and per-level build timings.
 
 Format is chosen by extension: ``.jsonl`` (default; one JSON object per
 line) or ``.csv`` (union-of-keys header, nested dicts/lists JSON-encoded
@@ -130,14 +133,15 @@ def _read_csv(path: Path) -> list[dict[str, Any]]:
 def deterministic_view(rows: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
     """The rows with every legitimately-varying part removed.
 
-    Span rows are pure wall time, so they are dropped whole; every other
-    row keeps its deterministic keys only.  What remains is a pure
-    function of the simulated work and must match bit-for-bit across
+    Span rows are pure wall time and cache rows are pure process history
+    (hit ratios depend on what ran before), so both are dropped whole;
+    every other row keeps its deterministic keys only.  What remains is a
+    pure function of the simulated work and must match bit-for-bit across
     engines and job counts.
     """
     view = []
     for row in rows:
-        if row.get("kind") == "span":
+        if row.get("kind") in ("span", "cache"):
             continue
         view.append(
             {k: v for k, v in row.items() if k not in NONDETERMINISTIC_KEYS}
@@ -238,6 +242,23 @@ def render_report(rows: list[dict[str, Any]]) -> str:
             )
             suffix = f" [{label}]" if label else ""
             lines.append(f"  {c.get('name', '?')} = {c.get('value')}{suffix}")
+
+    for c in by_kind.get("cache", []):
+        lines.append("")
+        lines.append("routing-table cache:")
+        lines.append(
+            f"  tables: {c.get('hits', 0)} hit(s) / {c.get('misses', 0)} miss(es), "
+            f"{c.get('build_seconds', 0.0):.3f}s building, "
+            f"{c.get('seconds_saved', 0.0):.3f}s saved"
+        )
+        lines.append(
+            f"  fragments: {c.get('fragment_hits', 0)} hit(s) / "
+            f"{c.get('fragment_misses', 0)} miss(es)"
+        )
+        levels = c.get("level_seconds") or {}
+        if levels:
+            breakdown = ", ".join(f"{k}={levels[k]:.3f}s" for k in sorted(levels))
+            lines.append(f"  per-level build time: {breakdown}")
 
     samples = by_kind.get("sample", [])
     if samples:

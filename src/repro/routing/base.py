@@ -17,6 +17,7 @@ import numpy as np
 from repro.network.graph import Network
 
 __all__ = [
+    "ArrayRoutingTable",
     "LoweredTable",
     "Route",
     "RouteSet",
@@ -132,7 +133,7 @@ class RoutingTable:
         from repro.network.graph import NetworkError
 
         idx = net.indices()
-        rows = np.full((len(idx.router_ids), len(idx.end_ids)), -1, dtype=np.int64)
+        rows = np.full((len(idx.router_ids), len(idx.end_ids)), -1, dtype=np.int32)
         for router, dests in self._entries.items():
             r = idx.router_index.get(router)
             if r is None:
@@ -158,30 +159,165 @@ class RoutingTable:
         return f"<RoutingTable {len(self._entries)} routers, {self.num_entries()} entries>"
 
 
+def _port_link_lut(net: Network, idx) -> "np.ndarray":
+    """Per-router ``port -> link index`` lookup (-1 where uncabled).
+
+    One pass over the links replaces the per-entry ``out_link_on_port``
+    calls of the dict lowering path, which is what keeps lowering linear
+    in table *size* rather than in Python-level dict traffic.
+    """
+    max_ports = max((net.node(r).num_ports for r in idx.router_ids), default=1)
+    lut = np.full((len(idx.router_ids), max_ports), -1, dtype=np.int32)
+    router_index = idx.router_index
+    for li, lid in enumerate(idx.link_ids):
+        link = net.link(lid)
+        r = router_index.get(link.src)
+        if r is not None:
+            lut[r, link.src_port] = li
+    return lut
+
+
+class ArrayRoutingTable(RoutingTable):
+    """A routing table stored as one dense ``router x end`` port matrix.
+
+    Same contract as :class:`RoutingTable` (it *is* one, by subclass), but
+    the entries live in a single ``int16`` numpy array indexed by the
+    network's dense integer indices instead of nested per-router dicts.
+    At fractahedron depth 4 (8K+ end nodes, ~100M entries) the dict form
+    needs gigabytes of hash tables; the matrix needs two bytes per cell
+    and lowers to the compiled IR with pure vector ops.
+
+    ``ports[router_index, end_index]`` holds the output port, or ``-1``
+    where the router has no entry for that destination.
+    """
+
+    def __init__(self, indices, ports: "np.ndarray | None" = None) -> None:
+        # No super().__init__: the dict store is replaced wholesale.
+        self._idx = indices
+        if ports is None:
+            ports = np.full(
+                (len(indices.router_ids), len(indices.end_ids)), -1, dtype=np.int16
+            )
+        self.ports = ports
+
+    @classmethod
+    def from_table(cls, table: RoutingTable, indices) -> "ArrayRoutingTable":
+        """Densify any routing table onto a network's indices."""
+        out = cls(indices)
+        ports = out.ports
+        ri, ei = indices.router_index, indices.end_index
+        for router, dest, port in table.items():
+            r, e = ri.get(router), ei.get(dest)
+            if r is not None and e is not None:
+                ports[r, e] = port
+        return out
+
+    # -- mutation ------------------------------------------------------
+    def set(self, router: str, dest: str, port: int) -> None:
+        try:
+            r = self._idx.router_index[router]
+            e = self._idx.end_index[dest]
+        except KeyError:
+            raise RoutingError(
+                f"{router!r}/{dest!r} not indexed by this ArrayRoutingTable"
+            ) from None
+        self.ports[r, e] = port
+
+    # -- queries (identical semantics to the dict form) ----------------
+    def lookup(self, router: str, dest: str) -> int:
+        r = self._idx.router_index.get(router)
+        e = self._idx.end_index.get(dest)
+        if r is not None and e is not None:
+            port = self.ports[r, e]
+            if port >= 0:
+                return int(port)
+        raise RoutingError(f"router {router!r} has no entry for dest {dest!r}")
+
+    def has_entry(self, router: str, dest: str) -> bool:
+        r = self._idx.router_index.get(router)
+        e = self._idx.end_index.get(dest)
+        return r is not None and e is not None and self.ports[r, e] >= 0
+
+    def routers(self) -> list[str]:
+        used = (self.ports >= 0).any(axis=1)
+        return [r for r, u in zip(self._idx.router_ids, used) if u]
+
+    def entries(self, router: str) -> dict[str, int]:
+        r = self._idx.router_index.get(router)
+        if r is None:
+            return {}
+        row = self.ports[r]
+        end_ids = self._idx.end_ids
+        return {end_ids[e]: int(row[e]) for e in np.flatnonzero(row >= 0)}
+
+    def items(self) -> Iterator[tuple[str, str, int]]:
+        router_ids, end_ids = self._idx.router_ids, self._idx.end_ids
+        rs, es = np.nonzero(self.ports >= 0)
+        for r, e in zip(rs.tolist(), es.tolist()):
+            yield router_ids[r], end_ids[e], int(self.ports[r, e])
+
+    def num_entries(self) -> int:
+        return int((self.ports >= 0).sum())
+
+    def used_output_ports(self, router: str) -> set[int]:
+        r = self._idx.router_index.get(router)
+        if r is None:
+            return set()
+        row = self.ports[r]
+        return set(np.unique(row[row >= 0]).tolist())
+
+    def copy(self) -> "ArrayRoutingTable":
+        return ArrayRoutingTable(self._idx, self.ports.copy())
+
+    # -- lowering ------------------------------------------------------
+    def lower(self, net: Network, vc_count: int = 1) -> "LoweredTable":
+        idx = net.indices()
+        if (
+            idx.router_ids != tuple(self._idx.router_ids)
+            or idx.end_ids != tuple(self._idx.end_ids)
+        ):
+            # Indexed against a different structure: fall back to the
+            # generic per-entry path (correct, just not vectorized).
+            return RoutingTable(
+                {r: self.entries(r) for r in self.routers()}
+            ).lower(net, vc_count)
+        lut = _port_link_lut(net, idx)
+        ports = self.ports
+        valid = (ports >= 0) & (ports < lut.shape[1])
+        safe = np.where(valid, ports, 0).astype(np.int32)
+        links = np.take_along_axis(lut, safe, axis=1)
+        rows = np.where(valid & (links >= 0), links * vc_count, -1).astype(np.int32)
+        return LoweredTable(
+            rows=rows,
+            version=idx.version,
+            vc_count=vc_count,
+            num_entries=self.num_entries(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ArrayRoutingTable {self.ports.shape[0]} routers x "
+            f"{self.ports.shape[1]} dests, {self.num_entries()} entries>"
+        )
+
+
 @dataclass(frozen=True)
 class LoweredTable:
     """A routing table lowered to dense integer indices (see ``lower``).
 
     ``rows[router_index][end_index]`` is the base output channel
-    (``link_index * vc_count``) or ``-1``.  :attr:`row_lists` is the same
-    data as nested Python lists -- scalar indexing into small Python lists
-    beats numpy item access in the per-cycle hot loop.  ``version`` and
-    ``num_entries`` let holders detect stale lowerings after topology or
-    table mutation.
+    (``link_index * vc_count``) or ``-1``.  The matrix stays a single
+    int32 array end to end: a 16K-end fabric's table is a few hundred MB
+    boxed into Python lists but tens of MB as the array, and route
+    lookups happen once per worm head per hop, so scalar array indexing
+    is never the per-cycle bottleneck.  ``version`` and ``num_entries``
+    let holders detect stale lowerings after topology or table mutation.
     """
 
     rows: "np.ndarray"
     version: int
     vc_count: int
     num_entries: int
-
-    @property
-    def row_lists(self) -> list[list[int]]:
-        got = self.__dict__.get("_row_lists")
-        if got is None:
-            got = self.rows.tolist()
-            object.__setattr__(self, "_row_lists", got)
-        return got
 
 
 def compute_route(net: Network, tables: RoutingTable, src: str, dst: str) -> Route:

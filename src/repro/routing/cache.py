@@ -76,6 +76,7 @@ def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
     from repro.core.routing import fractahedral_tables
     from repro.routing.dimension_order import dimension_order_tables
     from repro.routing.ecube import ecube_tables
+    from repro.routing.hierarchical import hier_shortest_path_tables
     from repro.routing.shortest_path import shortest_path_tables
     from repro.routing.tree_routing import tree_tables, up_down_tables
     from repro.topology.butterfly import butterfly_tables
@@ -87,20 +88,26 @@ def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
         "ecube": ecube_tables,
         "fat_tree": fat_tree_tables,
         "fractahedral": fractahedral_tables,
+        "hier_shortest_path": hier_shortest_path_tables,
         "shortest_path": shortest_path_tables,
         "tree": tree_tables,
         "up_down": up_down_tables,
     }
 
 
-def _accepts_allowed(builder: Callable[..., RoutingTable]) -> bool:
-    """True when a table builder takes an ``allowed`` link predicate."""
+def _accepts_param(builder: Callable[..., RoutingTable], name: str) -> bool:
+    """True when a table builder's signature takes the named keyword."""
     import inspect
 
     try:
-        return "allowed" in inspect.signature(builder).parameters
+        return name in inspect.signature(builder).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins
         return False
+
+
+def _accepts_allowed(builder: Callable[..., RoutingTable]) -> bool:
+    """True when a table builder takes an ``allowed`` link predicate."""
+    return _accepts_param(builder, "allowed")
 
 
 class _AlgorithmRegistry(dict):
@@ -142,12 +149,23 @@ def algorithm_for(net: Network) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters plus the compile time the hits skipped."""
+    """Hit/miss counters plus the compile time the hits skipped.
+
+    Hierarchical builds add fragment-granularity counters: ``fragment_hits``
+    / ``fragment_misses`` count per-group column blocks served from or
+    added to the fragment store, and ``level_seconds`` breaks
+    ``build_seconds`` down by hierarchy level (plus the shared
+    ``"adjacency"`` CSR pass) so ``seconds_saved`` stays honest when a
+    rebuild recomputes only part of a table.
+    """
 
     hits: int = 0
     misses: int = 0
     build_seconds: float = 0.0
     seconds_saved: float = 0.0
+    fragment_hits: int = 0
+    fragment_misses: int = 0
+    level_seconds: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -155,6 +173,9 @@ class CacheStats:
             "misses": self.misses,
             "build_seconds": round(self.build_seconds, 4),
             "seconds_saved": round(self.seconds_saved, 4),
+            "fragment_hits": self.fragment_hits,
+            "fragment_misses": self.fragment_misses,
+            "level_seconds": {k: round(v, 4) for k, v in sorted(self.level_seconds.items())},
         }
 
 
@@ -176,6 +197,8 @@ class RoutingTableCache:
         self._key_by_id: dict[int, tuple[RoutingTable, str]] = {}
         #: (content key, vc_count) -> lowered form (see RoutingTable.lower)
         self._lowered: dict[tuple[str, int], LoweredTable] = {}
+        #: fragment key -> per-group column block (hierarchical builder)
+        self._fragments: dict[str, Any] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -234,6 +257,10 @@ class RoutingTableCache:
             and _accepts_allowed(build)
         ):
             call_params["allowed"] = disables.allowed
+        if "cache" not in call_params and _accepts_param(build, "cache"):
+            # Builders that compose cached fragments (hier_shortest_path)
+            # get this cache's fragment store handed to them.
+            call_params["cache"] = self
         start = time.perf_counter()
         tables = build(net, **call_params)
         elapsed = time.perf_counter() - start
@@ -281,12 +308,35 @@ class RoutingTableCache:
                 lowered = self._lowered.setdefault(lk, lowered)
         return lowered
 
+    # -- fragment store (hierarchical builds) --------------------------
+    def fragment_get(self, key: str) -> Any | None:
+        """A cached per-group column block, counting the hit or miss."""
+        with self._lock:
+            got = self._fragments.get(key)
+            if got is not None:
+                self.stats.fragment_hits += 1
+            else:
+                self.stats.fragment_misses += 1
+            return got
+
+    def fragment_put(self, key: str, fragment: Any) -> None:
+        """Store a per-group column block (first writer wins, like tables)."""
+        with self._lock:
+            self._fragments.setdefault(key, fragment)
+
+    def record_level_seconds(self, label: str, seconds: float) -> None:
+        """Attribute builder time to one hierarchy level (or stage)."""
+        with self._lock:
+            stats = self.stats
+            stats.level_seconds[label] = stats.level_seconds.get(label, 0.0) + seconds
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._build_cost.clear()
             self._key_by_id.clear()
             self._lowered.clear()
+            self._fragments.clear()
             self.stats = CacheStats()
 
     def __len__(self) -> int:

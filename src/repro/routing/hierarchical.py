@@ -1,0 +1,315 @@
+"""Hierarchical shortest-path table builder for structured fabrics.
+
+:func:`repro.routing.shortest_path.shortest_path_tables` runs one reverse
+BFS **per destination end node** over string-keyed adjacency, sorting each
+router's incoming links with a Python lambda on every dequeue.  On a
+64-node Table 2 fabric that is instant; on a depth-3 fractahedron (1K+
+ends, ~1.5K routers) it is seconds, and at depth 4 it is minutes -- all of
+it spent re-discovering structure the topology already fixes.
+
+This builder produces **bit-identical tables** far faster by exploiting
+two facts:
+
+1. The default tie-break ``(link.src, link.src_port)`` ignores the
+   destination, so the BFS in-tree depends only on the destination's
+   *attached router*.  Every end node fanned out of the same router shares
+   one tree: a fanout-width-2 fabric needs half the searches, and each
+   search is computed once and broadcast as a column of the dense
+   :class:`~repro.routing.base.ArrayRoutingTable` matrix.
+2. BFS on an unweighted graph is level-synchronous, so the whole
+   dequeue/tie-break order of the reference implementation can be replayed
+   with vectorized numpy passes over a pre-sorted integer CSR: within one
+   frontier, the discovering edge for a router is simply the first edge in
+   ``(frontier position, per-router sorted rank)`` order.  Sorting
+   happens once, in the CSR build, instead of once per dequeue.
+
+The per-destination-router columns are grouped into **fragments** along
+the topology's hierarchy (one fragment per bottom-level tetrahedron
+group, read from the builder-stamped ``level``/``group``/``tetra`` node
+attrs).  Fragments are content-keyed by the router-graph adjacency hash
+plus the group's own attachment signature and memoized in the
+:class:`~repro.routing.cache.RoutingTableCache` fragment store, so a
+rebuild recomputes only fragments whose key changed: end-node-side
+changes (the common ServerNet reconfiguration) leave the router adjacency
+hash intact and every untouched group's fragment hits, and repeated
+builds of the same faulted fabric (fault sweeps, dest-subset cross-checks)
+reuse all of them.
+
+The whole-graph BFS stays available as the cross-check oracle; the test
+suite proves equality entry-for-entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.network.graph import Link, Network
+from repro.routing.base import ArrayRoutingTable, RoutingError
+
+__all__ = ["hier_shortest_path_tables"]
+
+LinkPredicate = Callable[[Link], bool]
+
+
+# ----------------------------------------------------------------------
+# integer CSR of the allowed router graph
+# ----------------------------------------------------------------------
+
+
+def _router_csr(net: Network, idx, allowed: LinkPredicate | None):
+    """In-adjacency of the allowed router graph in dense index space.
+
+    Returns ``(starts, counts, inc_src, inc_port, lex_order, adj_hash)``:
+    edges arriving at router ``r`` occupy ``starts[r] : starts[r]+counts[r]``
+    of ``inc_src``/``inc_port`` and are sorted by ``(lex rank of source id,
+    source port)`` -- precomputing the exact comparison the oracle performs
+    with ``sorted(key=lambda l: (l.src, l.src_port))`` on every dequeue.
+    ``lex_order`` lists router indices by id string order (for error
+    messages); ``adj_hash`` is a content hash of the whole structure.
+    """
+    R = len(idx.router_ids)
+    router_index = idx.router_index
+    # Rank of each router index under string ordering of ids: comparing
+    # ranks is exactly comparing id strings, but costs one int compare.
+    lex_order = sorted(range(R), key=lambda r: idx.router_ids[r])
+    rank = np.empty(R, dtype=np.int64)
+    for pos, r in enumerate(lex_order):
+        rank[r] = pos
+
+    srcs: list[int] = []
+    dsts: list[int] = []
+    ports: list[int] = []
+    for link in net.router_links():
+        if allowed is None or allowed(link):
+            srcs.append(router_index[link.src])
+            dsts.append(router_index[link.dst])
+            ports.append(link.src_port)
+    src_a = np.asarray(srcs, dtype=np.int64)
+    dst_a = np.asarray(dsts, dtype=np.int64)
+    port_a = np.asarray(ports, dtype=np.int64)
+    order = np.lexsort((port_a, rank[src_a], dst_a)) if src_a.size else src_a
+    inc_src = src_a[order]
+    inc_port = port_a[order].astype(np.int16)
+    counts = np.bincount(dst_a, minlength=R).astype(np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1])) if R else counts
+
+    h = hashlib.sha256()
+    h.update("\x00".join(idx.router_ids).encode())
+    h.update(inc_src.tobytes())
+    h.update(inc_port.tobytes())
+    h.update(counts.tobytes())
+    return starts, counts, inc_src, inc_port, np.asarray(lex_order), h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# one destination router's column: the oracle BFS, replayed level-by-level
+# ----------------------------------------------------------------------
+
+
+def _bfs_column(dest_r: int, R: int, starts, counts, inc_src, inc_port):
+    """Output-port column of the reverse BFS rooted at ``dest_r``.
+
+    Returns ``(col, visited)`` where ``col[r]`` is the port router ``r``
+    forwards on (-1 for the root and for unreachable routers).  Unweighted
+    BFS discovers each distance-(d+1) router while processing the
+    distance-d frontier, and the FIFO order within a frontier is the
+    enqueue order of the previous pass -- so the reference algorithm's
+    "first (dequeued router, sorted incoming link) to reach me wins" is
+    precisely "lowest (frontier position, CSR rank) edge wins", which one
+    ``np.unique`` per level resolves for every discovery at once.
+    """
+    col = np.full(R, -1, dtype=np.int16)
+    visited = np.zeros(R, dtype=bool)
+    visited[dest_r] = True
+    frontier = np.array([dest_r], dtype=np.int64)
+    while frontier.size:
+        fcounts = counts[frontier]
+        total = int(fcounts.sum())
+        if total == 0:
+            break
+        # Gather the frontier's incoming edges, preserving (position, rank)
+        # order: `eidx` walks each frontier router's CSR slice in turn.
+        cum = np.cumsum(fcounts) - fcounts
+        offs = np.arange(total, dtype=np.int64) - np.repeat(cum, fcounts)
+        eidx = np.repeat(starts[frontier], fcounts) + offs
+        srcs = inc_src[eidx]
+        fresh = ~visited[srcs]
+        if not fresh.any():
+            break
+        srcs_f = srcs[fresh]
+        # Edges are already in dequeue/tie-break order, so the first
+        # occurrence of each undiscovered router is its winning edge.
+        uniq, first = np.unique(srcs_f, return_index=True)
+        col[uniq] = inc_port[eidx[fresh][first]]
+        visited[uniq] = True
+        # Enqueue order of the next frontier = discovery order = position
+        # of the winning edge in this pass.
+        frontier = uniq[np.argsort(first)]
+    return col, visited
+
+
+# ----------------------------------------------------------------------
+# fragments: per-group column blocks, content-keyed for the cache
+# ----------------------------------------------------------------------
+
+
+def _group_of(net: Network, router_id: str):
+    """Hierarchy coordinate of a destination router.
+
+    Fractahedron builders stamp ``level``/``group`` (corner routers) and
+    ``tetra`` (fanout routers); either names the bottom-level tetrahedron
+    subtree the router lives in.  Unannotated topologies degrade to one
+    fragment per router, which still preserves the per-router sharing.
+    """
+    attrs = net.node(router_id).attrs
+    if attrs.get("fanout"):
+        return ("tetra", attrs["tetra"])
+    if "level" in attrs and "group" in attrs:
+        return ("level", attrs["level"], attrs["group"])
+    return ("router", router_id)
+
+
+def _level_label(group_key) -> str:
+    if group_key[0] == "tetra":
+        return "L1"
+    if group_key[0] == "level":
+        return f"L{group_key[1]}"
+    return "flat"
+
+
+def _attached_ends(net: Network, router_id: str) -> tuple[tuple[str, int], ...]:
+    """(end id, ejection port) pairs, port order; first link to a dst wins."""
+    eject: dict[str, int] = {}
+    for link in net.out_links(router_id):
+        if link.dst not in eject and net.node(link.dst).is_end_node:
+            eject[link.dst] = link.src_port
+    return tuple(eject.items())
+
+
+def _build_fragment(group_routers, R, starts, counts, inc_src,
+                    inc_port, lex_order, router_ids):
+    """Columns for every destination router of one hierarchy group.
+
+    A column that cannot cover the fabric is stored as a ``("missing", n,
+    example)`` marker rather than raised here: the oracle only fails when
+    an end node actually asks for the broken column, and fragment builds
+    must not change that order.
+    """
+    frag: dict[str, tuple] = {}
+    for dr in group_routers:
+        col, visited = _bfs_column(dr, R, starts, counts, inc_src, inc_port)
+        n_vis = int(visited.sum())
+        if n_vis < R:
+            miss_pos = np.flatnonzero(~visited[lex_order])[0]
+            example = router_ids[int(lex_order[miss_pos])]
+            frag[router_ids[dr]] = ("missing", R - n_vis, example)
+        else:
+            frag[router_ids[dr]] = ("col", col)
+    return frag
+
+
+def hier_shortest_path_tables(
+    net: Network,
+    allowed: LinkPredicate | None = None,
+    dests: Iterable[str] | None = None,
+    cache=None,
+) -> ArrayRoutingTable:
+    """Hierarchically-built tables, bit-identical to the whole-graph BFS.
+
+    Args:
+        net: the network.
+        allowed: optional predicate over router-to-router links (path
+            disables), identical semantics to ``shortest_path_tables``.
+        dests: optional subset of destination end-node ids to compile
+            (sampled cross-checks, CI smoke); default is every end node.
+        cache: optional :class:`~repro.routing.cache.RoutingTableCache`
+            whose fragment store memoizes per-group column blocks across
+            builds.  ``get_or_build`` passes itself automatically.
+
+    Returns:
+        An :class:`~repro.routing.base.ArrayRoutingTable` whose entries
+        match ``shortest_path_tables(net, allowed)`` exactly, including
+        the :class:`RoutingError` raised for the first destination (in
+        ``dests`` order) some router cannot reach.
+    """
+    t0 = time.perf_counter()
+    idx = net.indices()
+    R = len(idx.router_ids)
+    router_ids = idx.router_ids
+    starts, counts, inc_src, inc_port, lex_order, adj_hash = _router_csr(
+        net, idx, allowed
+    )
+    _record_level(cache, "adjacency", time.perf_counter() - t0)
+
+    table = ArrayRoutingTable(idx)
+    ports = table.ports
+    end_order = net.end_node_ids() if dests is None else list(dests)
+
+    columns: dict[str, tuple] = {}  # dest router id -> ("col", arr) | ("missing", ...)
+    eject_of: dict[str, dict[str, int]] = {}  # dest router id -> end -> port
+    groups_map: dict | None = None  # group key -> member router ids, built once
+
+    def materialize(dest_router: str) -> None:
+        """Fetch or build the fragment containing ``dest_router``."""
+        nonlocal groups_map
+        group_key = _group_of(net, dest_router)
+        if group_key[0] == "router":
+            members = [dest_router]
+        else:
+            if groups_map is None:
+                groups_map = {}
+                for rid in router_ids:
+                    groups_map.setdefault(_group_of(net, rid), []).append(rid)
+            members = groups_map[group_key]
+        ends = {}
+        group_routers = []
+        for rid in members:
+            pairs = _attached_ends(net, rid)
+            if pairs:
+                ends[rid] = pairs
+                group_routers.append(idx.router_index[rid])
+        frag = None
+        frag_key = None
+        if cache is not None:
+            sig = repr(sorted(ends.items()))
+            frag_key = hashlib.sha256(
+                f"{adj_hash}|{group_key!r}|{sig}".encode()
+            ).hexdigest()
+            frag = cache.fragment_get(frag_key)
+        if frag is None:
+            t1 = time.perf_counter()
+            frag = _build_fragment(
+                group_routers, R, starts, counts, inc_src, inc_port,
+                lex_order, router_ids,
+            )
+            _record_level(cache, _level_label(group_key), time.perf_counter() - t1)
+            if cache is not None:
+                cache.fragment_put(frag_key, frag)
+        columns.update(frag)
+        for rid, pairs in ends.items():
+            eject_of[rid] = dict(pairs)
+
+    for dest in end_order:
+        dest_router = net.attached_router(dest)
+        if dest_router not in columns:
+            materialize(dest_router)
+        entry = columns[dest_router]
+        if entry[0] == "missing":
+            _, n_missing, example = entry
+            raise RoutingError(
+                f"{n_missing} router(s) cannot reach {dest!r} "
+                f"under the given restriction (e.g. {example!r})"
+            )
+        e = idx.end_index[dest]
+        ports[:, e] = entry[1]
+        ports[idx.router_index[dest_router], e] = eject_of[dest_router][dest]
+    return table
+
+
+def _record_level(cache, label: str, seconds: float) -> None:
+    if cache is not None:
+        cache.record_level_seconds(label, seconds)

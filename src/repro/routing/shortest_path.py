@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.network.graph import Link, Network
 from repro.routing.base import RoutingError, RoutingTable
@@ -61,6 +61,7 @@ def shortest_path_tables(
     net: Network,
     allowed: LinkPredicate | None = None,
     tie_break: TieBreak | None = None,
+    dests: "Iterable[str] | None" = None,
 ) -> RoutingTable:
     """Compile shortest-path routing tables for all end-node destinations.
 
@@ -71,6 +72,9 @@ def shortest_path_tables(
         tie_break: orders equal-distance parents per destination; defaults
             to lexicographic.  :func:`rotating_tie_break` gives the
             adversarial-but-legal tables used by the Figure 2 experiment.
+        dests: optional subset of destination end-node ids to compile,
+            used when this builder serves as the cross-check oracle for a
+            sampled sweep on a fabric too large for all destinations.
 
     Raises:
         RoutingError: if some router cannot reach some destination under the
@@ -81,7 +85,7 @@ def shortest_path_tables(
     routers = set(net.router_ids())
     breaker = tie_break or _lex_tie_break
 
-    for dest in net.end_node_ids():
+    for dest in net.end_node_ids() if dests is None else dests:
         dest_router = net.attached_router(dest)
         # Ejection entry at the destination's router.
         ejection = [l for l in net.out_links(dest_router) if l.dst == dest]

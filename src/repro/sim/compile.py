@@ -270,10 +270,15 @@ class SimCore:
         self._fault_ptr = 0
 
     # ------------------------------------------------------------------
-    def _lower(self, tables: RoutingTable) -> list[list[int]]:
+    def _lower(self, tables: RoutingTable):
         from repro.routing.cache import DEFAULT_CACHE
 
-        return DEFAULT_CACHE.get_or_lower(self.net, tables, self.config.vc_count).row_lists
+        # The int32 matrix is routed from directly; route lookups are one
+        # per worm head per hop, far off the per-flit hot path, and boxing
+        # rows into Python lists costs more than every lookup combined on
+        # thousand-router fabrics.
+        self._lowered = DEFAULT_CACHE.get_or_lower(self.net, tables, self.config.vc_count)
+        return self._lowered.rows
 
     # ------------------------------------------------------------------
     @property
@@ -450,7 +455,8 @@ class SimCore:
                             f"(packet {code >> FLIT_INDEX_BITS})"
                         )
                     pid = code >> FLIT_INDEX_BITS
-                    base = rows[ch_router[ch]][dst_idx[pid]]
+                    rtr = ch_router[ch]
+                    base = int(rows[rtr, dst_idx[pid]])
                     if base < 0:
                         base = self._slow_route(ch, pid)
                     out = (base + ch % V) if V > 1 else base

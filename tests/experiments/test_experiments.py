@@ -175,3 +175,27 @@ class TestFaultStudy:
         row = r["rows"][0]
         assert row["dual_avg"] > row["single_avg"]
         assert 0.0 < row["single_avg"] < 1.0
+
+
+class TestScaleStudy:
+    def test_pipeline_rows_and_validation(self):
+        from repro.experiments import scale_study
+
+        r = scale_study.run(max_levels=2, sim_cycles=120)
+        assert [row["levels"] for row in r["rows"]] == [1, 2]
+        for row in r["rows"]:
+            # full oracle sweep at these sizes, and never a divergence
+            assert row["oracle_full_sweep"]
+            assert row["mismatches"] == 0
+            assert row["fragment_misses"] > 0
+            assert row["packets_delivered"] > 0
+        v = r["validation"]
+        assert v["nodes_ok"] and v["delay_ok"] and v["bisection_ok"]
+        assert v["nodes"] == 128 and v["bisection"] == 16
+
+    def test_report_text(self):
+        from repro.experiments import scale_study
+
+        text = scale_study.report(max_levels=1)
+        assert "Scale study" in text
+        assert "top depth N=1" in text

@@ -20,8 +20,8 @@ class TestRegistry:
     def test_all_drivers_registered_in_paper_order(self):
         names = experiment_names()
         assert names[:4] == ["fig1", "fig2", "fig3", "table1"]
-        assert "faults" in names and "ablations" in names
-        assert len(names) == 13
+        assert "faults" in names and "scale" in names and "ablations" in names
+        assert len(names) == 14
 
     def test_every_registered_experiment_satisfies_protocol(self):
         for name in experiment_names():

@@ -17,6 +17,9 @@ ROWS = [
      "link_utilization": {"a": 0.5, "b": 1.0}},
     {"kind": "span", "name": "simulate", "seconds": 0.8, "count": 2},
     {"kind": "counter", "name": "sweep_points", "value": 2},
+    {"kind": "cache", "hits": 3, "misses": 1, "build_seconds": 0.42,
+     "seconds_saved": 1.26, "fragment_hits": 8, "fragment_misses": 8,
+     "level_seconds": {"L1": 0.4, "adjacency": 0.02}},
 ]
 
 
@@ -44,9 +47,9 @@ class TestRoundTrip:
 class TestDeterministicView:
     def test_strips_identity_and_timing(self):
         view = deterministic_view(ROWS)
-        # span rows dropped whole
-        assert all(r.get("kind") != "span" for r in view)
-        assert len(view) == len(ROWS) - 1
+        # span and cache rows dropped whole (wall time / process history)
+        assert all(r.get("kind") not in ("span", "cache") for r in view)
+        assert len(view) == len(ROWS) - 2
         manifest = view[0]
         for key in ("engine", "jobs", "wall_seconds"):
             assert key not in manifest
@@ -67,8 +70,13 @@ class TestDeterministicView:
         assert "avg_latency" in diffs[0] and "99.0" in diffs[0]
 
     def test_diff_reports_row_count_mismatch(self):
-        diffs = diff_metrics(ROWS, ROWS[:-1])
+        shorter = [r for r in ROWS if r["kind"] != "counter"]
+        diffs = diff_metrics(ROWS, shorter)
         assert any("row count differs" in d for d in diffs)
+
+    def test_dropped_kinds_never_count(self):
+        # removing span/cache rows must be invisible to the diff
+        assert diff_metrics(ROWS, [r for r in ROWS if r["kind"] not in ("span", "cache")]) == []
 
 
 class TestReport:
@@ -82,6 +90,9 @@ class TestReport:
         assert "counters & gauges:" in text
         assert "sampling: 1 snapshots" in text
         assert "hottest links" in text
+        assert "routing-table cache:" in text
+        assert "fragments: 8 hit(s) / 8 miss(es)" in text
+        assert "per-level build time: L1=0.400s, adjacency=0.020s" in text
 
     def test_empty_file(self):
         assert render_report([]) == "(empty metrics file)"
