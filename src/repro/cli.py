@@ -166,6 +166,13 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _engine_arg(args) -> str:
+    """Normalize the ``--engine`` flag (``vec`` is CLI shorthand)."""
+    if args.engine == "vec":
+        args.engine = "vectorized"
+    return args.engine
+
+
 def cmd_sweep(args) -> int:
     """Latency curve / saturation search through the parallel runner."""
     import time
@@ -173,6 +180,7 @@ def cmd_sweep(args) -> int:
     from repro.sim.parallel import SweepRunner
     from repro.sim.sweep import find_saturation
 
+    _engine_arg(args)
     net = _build(args.topology, args.param)
     tables = _routing_for(net)
     runner = SweepRunner(args.jobs)
@@ -448,6 +456,21 @@ def cmd_simulate(args) -> int:
         from repro.obs import SimProbe
 
         probe = SimProbe(args.sample_interval)
+    if _engine_arg(args) == "vectorized":
+        from repro.sim.vec import vec_blockers
+
+        blockers = vec_blockers(SimConfig(retry=retry, reroute=reroute), probe=probe)
+        if args.faults:
+            blockers.append("fault schedule (--faults)")
+        if args.failover:
+            blockers.append("failover fabric (--failover)")
+        if blockers:
+            print(
+                "--engine vec cannot run this spec; blocked by: "
+                + ", ".join(blockers)
+            )
+            print("  these features need --engine compiled or --engine reference")
+            return 2
     start = time.perf_counter()
     if args.faults or retry or reroute or args.failover:
         from repro.sim.recovery import simulate_with_recovery
@@ -642,7 +665,8 @@ def main(argv: list[str] | None = None) -> int:
     sweep_p.add_argument("--switching", default="wormhole",
                          choices=("wormhole", "store_and_forward"))
     sweep_p.add_argument("--engine", default="auto",
-                         choices=("auto", "compiled", "reference", "vectorized"),
+                         choices=("auto", "compiled", "reference",
+                                  "vectorized", "vec"),
                          help="simulator engine (all are bit-identical; "
                               "'auto' compiles when the config allows, and "
                               "jobs=1 sweeps batch eligible points through "
@@ -690,8 +714,13 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--faults", type=int, default=0, metavar="K",
                            help="fail K random cables a quarter into the run")
             p.add_argument("--engine", default="auto",
-                           choices=("auto", "compiled", "reference", "vectorized"),
-                           help="simulator engine (all are bit-identical)")
+                           choices=("auto", "compiled", "reference",
+                                    "vectorized", "vec"),
+                           help="simulator engine (all are bit-identical; "
+                                "'vec' is shorthand for 'vectorized', and "
+                                "'auto' picks the vectorized core for wide "
+                                "single fabrics via the calibrated cost "
+                                "model)")
             p.add_argument("--metrics-out", metavar="FILE", default=None,
                            help="write manifest, point and samples as JSONL/CSV")
             p.add_argument("--sample-interval", type=int, default=0,

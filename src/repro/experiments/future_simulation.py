@@ -28,7 +28,6 @@ from repro.routing.cache import cached_tables
 from repro.sim.engine import SimConfig
 from repro.sim.api import make_sim
 from repro.sim.parallel import SweepRunner, derive_seed
-from repro.sim.traffic import uniform_traffic
 from repro.topology.fattree import fat_tree
 from repro.topology.mesh import mesh
 from repro.workloads.database import DatabaseWorkload
@@ -84,10 +83,17 @@ def simulate_load_point(
     (packets created after a warm-up of ``cycles // 5``), the standard
     discipline for saturation curves: cold-start packets see an empty
     network and bias the average down.
+
+    The offered load travels as a :class:`~repro.sim.vec.UniformPlan`
+    recipe (identical stream to ``uniform_traffic`` on the same seed), so
+    ``engine="auto"`` can route wide single fabrics to the vectorized
+    core and ``engine="vectorized"`` hits its array fast path.
     """
     import numpy as np
 
-    traffic = uniform_traffic(net.end_node_ids(), rate, packet_size, seed)
+    from repro.sim.vec import UniformPlan
+
+    traffic = UniformPlan(rate=rate, packet_size=packet_size, seed=seed)
     sim = make_sim(
         net,
         tables,

@@ -18,16 +18,21 @@ hashable value object:
 * :func:`make_sim` -- the blessed constructor for callers that need a
   live simulator object (probes, recovery managers, traces).
 
-``run_batch`` is where the vectorized engine pays off: specs that share a
-``(network, config, cycles, drain)`` group and carry an array-expressible
-traffic plan advance together in a single :class:`~repro.sim.vec.VecCore`
-batch -- one kernel pass per cycle for the whole group -- while
-inexpressible specs fall back to per-spec engines.  Results are
-bit-identical either way; batching is purely a throughput knob.
+``run_batch`` is one place the vectorized engine pays off: specs that
+share a ``(network, config, cycles, drain)`` group and carry an
+array-expressible traffic plan advance together in a single
+:class:`~repro.sim.vec.VecCore` batch -- one kernel pass per cycle for
+the whole group -- while inexpressible specs fall back to per-spec
+engines.  The other place is a single *wide* fabric: a lone spec whose
+``num_channels x expected occupancy`` clears the calibrated crossover
+(see :func:`preferred_engine`) runs as a B=1 ``VecCore``, where the
+channel count itself is the amortizing width.  Results are bit-identical
+either way; engine choice is purely a throughput knob.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -44,7 +49,9 @@ __all__ = [
     "SimSpec",
     "execute",
     "execute_batch",
+    "expected_occupancy",
     "make_sim",
+    "preferred_engine",
     "run",
     "run_batch",
 ]
@@ -114,9 +121,21 @@ def make_sim(
 
 
 def execute(spec: SimSpec) -> RunResult:
-    """Run one spec on the engine its config picks; return stats + packets."""
+    """Run one spec on the engine its config picks; return stats + packets.
+
+    A :class:`~repro.sim.vec.UniformPlan` travels to ``WormholeSim``
+    unbuilt so the facade's width-aware ``auto`` dispatch can see the
+    recipe (and the vectorized core, when picked, can pre-generate
+    arrivals on its array fast path); other traffic objects are
+    materialized here as before.
+    """
     net, tables = spec.resolve()
-    sim = make_sim(net, tables, spec.build_traffic(net), spec.config)
+    traffic = (
+        spec.traffic
+        if isinstance(spec.traffic, UniformPlan)
+        else spec.build_traffic(net)
+    )
+    sim = make_sim(net, tables, traffic, spec.config)
     sim.run(spec.cycles, drain=spec.drain)
     stats = sim.finalize()
     return RunResult(stats=stats, packets=dict(sim.packets), engine=sim.engine)
@@ -125,6 +144,63 @@ def execute(spec: SimSpec) -> RunResult:
 def run(spec: SimSpec) -> SimStats:
     """Run one spec and return its :class:`~repro.sim.stats.SimStats`."""
     return execute(spec).stats
+
+
+#: Calibrated per-cycle step costs in microseconds, fit on the fat
+#: fanout-2 fractahedron curve (depths 1-3 plus the 64-node Table-2
+#: fabric) at offered rates from trickle to saturation.  The compiled
+#: core walks occupied channels in a Python loop, so its cost is almost
+#: purely per-occupancy; the vectorized core pays a fixed ~30-kernel
+#: dispatch overhead per cycle and then near-zero marginal cost per
+#: occupied channel.  The lines cross at roughly 55 occupied channels.
+VEC_FIXED_US = 121.0
+VEC_PER_OCC_US = 0.30
+COMPILED_FIXED_US = 10.0
+COMPILED_PER_OCC_US = 2.3
+
+
+def expected_occupancy(num_channels: int, num_ends: int, plan: UniformPlan) -> float:
+    """Predicted steady-state occupied-channel count for a uniform load.
+
+    Queueing arithmetic, not simulation: packets arrive at
+    ``rate * ends / size`` per cycle, live for roughly ``hops + size``
+    cycles (wormhole pipeline fill plus drain), and each in-flight worm
+    spreads over ``min(hops, size)`` channels.  The average hop count is
+    approximated as ``0.75 * log2(num_channels)``, which tracks the
+    measured mean within a hop on every fractahedron depth.  The estimate
+    lands within ~2x of measured occupancy across the calibration grid --
+    enough to sit on the correct side of the dispatch crossover at every
+    calibrated point.
+    """
+    hops = 0.75 * math.log2(max(num_channels, 2))
+    packets_per_cycle = plan.rate * num_ends / max(plan.packet_size, 1)
+    in_flight = packets_per_cycle * (hops + plan.packet_size)
+    return min(float(num_channels), in_flight * min(hops, float(plan.packet_size)))
+
+
+def preferred_engine(net: Network, config: SimConfig, traffic: Any) -> str:
+    """Pick ``"compiled"`` or ``"vectorized"`` for a single run by cost.
+
+    The old rule -- a batch of one always goes compiled -- left single
+    large fabrics on the slow path: at depth 3 (5K+ channels, hundreds
+    occupied at even 2% load) the vectorized core's fixed kernel-dispatch
+    cost is dwarfed by the compiled core's per-channel Python loop.  This
+    compares the two calibrated per-cycle cost lines at the spec's
+    :func:`expected_occupancy` and returns the cheaper engine.
+
+    Only array-expressible runs qualify: anything that is not a
+    :class:`~repro.sim.vec.UniformPlan` or trips
+    :func:`~repro.sim.vec.vec_blockers` answers ``"compiled"`` (callers
+    with hooks -- probes, traces, recovery -- must also pass them through
+    ``vec_blockers`` themselves; this checks config-level blockers only).
+    """
+    if not isinstance(traffic, UniformPlan) or vec_blockers(config):
+        return "compiled"
+    num_channels = net.num_links * config.vc_count
+    occ = expected_occupancy(num_channels, net.num_end_nodes, traffic)
+    vec_us = VEC_FIXED_US + VEC_PER_OCC_US * occ
+    compiled_us = COMPILED_FIXED_US + COMPILED_PER_OCC_US * occ
+    return "vectorized" if vec_us < compiled_us else "compiled"
 
 
 def _batchable(spec: SimSpec) -> bool:
@@ -170,11 +246,18 @@ def execute_batch(specs: Sequence[SimSpec]) -> list[RunResult]:
             out[i] = execute(spec)
     for idxs in groups.values():
         first = specs[idxs[0]]
-        if len(idxs) == 1 and first.config.engine != "vectorized":
-            # a batch of one has no amortization; the compiled core wins
+        net, tables = first.resolve()
+        if (
+            len(idxs) == 1
+            and first.config.engine != "vectorized"
+            and preferred_engine(net, first.config, first.traffic) != "vectorized"
+        ):
+            # a lone narrow spec has no amortizing width -- batch replicas
+            # or channel count -- so the compiled core's per-occupancy
+            # loop beats the fixed kernel-dispatch cost; wide or busy
+            # single fabrics fall through to a B=1 VecCore instead
             out[idxs[0]] = execute(first)
             continue
-        net, tables = first.resolve()
         core = VecCore(net, tables, [specs[i].traffic for i in idxs], first.config)
         stats = core.run(first.cycles, drain=first.drain)
         for b, i in enumerate(idxs):

@@ -167,15 +167,20 @@ class SimConfig:
         engine: which step kernel executes the simulation.  ``"auto"``
             (default) picks the integer-indexed compiled core whenever the
             run uses only features it supports and silently falls back to
-            the reference interpreter otherwise; ``"compiled"`` forces the
-            compiled core (raising if an unsupported feature is requested);
-            ``"reference"`` forces the original string-keyed interpreter;
-            ``"vectorized"`` forces the batched numpy core (raising if an
-            unsupported feature is requested -- it covers plain wormhole
-            runs only, but amortizes a whole batch of replicas per kernel
-            pass; see :mod:`repro.sim.api`).  All engines are bit-identical
-            on the configurations they share.  Unknown names are rejected
-            at construction against :func:`registered_engines`.
+            the reference interpreter otherwise -- except that an
+            array-expressible run (a ``UniformPlan``, no blockers) on a
+            fabric wide or busy enough to clear the calibrated cost-model
+            crossover goes to the vectorized core single-replica (see
+            :func:`repro.sim.api.preferred_engine`); ``"compiled"`` forces
+            the compiled core (raising if an unsupported feature is
+            requested); ``"reference"`` forces the original string-keyed
+            interpreter; ``"vectorized"`` forces the batched numpy core
+            (raising if an unsupported feature is requested -- it covers
+            plain wormhole runs only, but amortizes over batch replicas
+            or, for one large fabric, over the channel count itself; see
+            :mod:`repro.sim.api`).  All engines are bit-identical on the
+            configurations they share.  Unknown names are rejected at
+            construction against :func:`registered_engines`.
     """
 
     buffer_depth: int = 4

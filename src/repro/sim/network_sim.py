@@ -620,15 +620,20 @@ class WormholeSim:
     Keeps the constructor signature every experiment and test already
     uses.  ``SimConfig.engine`` picks the step kernel:
 
-    * ``"auto"`` (default): the compiled core when the run only uses
-      features it supports, otherwise the reference interpreter;
+    * ``"auto"`` (default): the reference interpreter when the run uses
+      features only it models; otherwise the compiled core -- unless the
+      traffic is a :class:`~repro.sim.vec.UniformPlan`, the run trips no
+      :func:`~repro.sim.vec.vec_blockers`, and the calibrated cost model
+      (:func:`repro.sim.api.preferred_engine`) predicts the vectorized
+      core is cheaper over ``num_channels x expected occupancy`` -- a
+      single depth-3 fractahedron routes to a B=1 ``VecCore`` while a
+      lightly loaded 64-node fabric stays compiled;
     * ``"compiled"``: force the compiled core; raises ``ValueError``
       naming the unsupported features if any are requested;
     * ``"reference"``: force the original interpreter;
     * ``"vectorized"``: force the batched numpy core (single-replica
       batch); raises ``ValueError`` naming the unsupported features if
-      any are requested.  ``"auto"`` never picks it -- batching pays off
-      through :func:`repro.sim.api.run_batch`, not single runs.
+      any are requested.
 
     The resolved name is exposed as :attr:`engine`; every other attribute
     (``run``, ``step``, ``stats``, ``buffers``, ``drop_packet``, ...) is
@@ -681,7 +686,28 @@ class WormholeSim:
 
         engine = cfg.engine
         if engine == "auto":
-            engine = "reference" if blockers else "compiled"
+            if blockers:
+                engine = "reference"
+            else:
+                engine = "compiled"
+                from repro.sim.vec import UniformPlan, vec_blockers
+
+                if isinstance(traffic, UniformPlan) and not vec_blockers(
+                    cfg,
+                    vc_select=vc_select,
+                    fault=fault,
+                    trace=trace,
+                    route_override=route_override,
+                    on_deliver=on_deliver,
+                    failover=failover,
+                    recovery=recovery,
+                    probe=probe,
+                ):
+                    # array-expressible single run: let the calibrated
+                    # width/occupancy cost model pick the cheaper kernel
+                    from repro.sim.api import preferred_engine
+
+                    engine = preferred_engine(net, cfg, traffic)
         elif engine == "compiled" and blockers:
             raise ValueError(
                 "engine='compiled' does not support: " + ", ".join(blockers)
@@ -704,6 +730,12 @@ class WormholeSim:
                 raise ValueError(
                     "engine='vectorized' does not support: " + ", ".join(vb)
                 )
+
+        if engine != "vectorized" and hasattr(traffic, "build"):
+            # a traffic plan (hashable recipe) must be materialized for
+            # the scalar engines; the vectorized core consumes the plan
+            # itself so its array fast path can pre-generate arrivals
+            traffic = traffic.build(net)
 
         if engine == "vectorized":
             from repro.sim.vec import VecSim
@@ -738,7 +770,7 @@ class WormholeSim:
                 recovery=recovery,
                 probe=probe,
             )
-        #: resolved engine name: "compiled" or "reference"
+        #: resolved engine name: "compiled", "reference" or "vectorized"
         self.engine = engine
 
     def __getattr__(self, name: str):

@@ -9,7 +9,34 @@ eject -- as numpy array operations over flat per-channel state, and adds a
 kernel pass per cycle.  A whole latency curve or saturation bisection
 becomes one batched run instead of N processes, which is how
 routing-engine evaluations at Dragonfly/HyperX scale amortize the
-per-cycle interpreter cost.
+per-cycle interpreter cost.  The batch dimension is not the only
+amortizing width: a single large fabric (``B=1``, channels in the
+thousands) clears the same fixed kernel-dispatch cost through active-set
+stepping (below), which is why the facade's width-aware ``auto``
+dispatch (:func:`repro.sim.api.preferred_engine`) routes lone depth-3/4
+fractahedrons here.
+
+Active sets
+-----------
+
+At sub-saturation loads most channels are idle, so each phase kernel
+gathers/scatters over the *active* state instead of the full ``(B*C,)``
+width.  Two disciplines, picked by the ``active_set`` constructor
+keyword (``"auto"`` crosses over at :data:`ACTIVE_SCAN_MAX`):
+
+* ``"scan"`` (small widths): occupied channels and armed sources are
+  re-derived each cycle by full-width boolean scans -- linear ~1
+  byte/element passes that cost less than maintaining anything;
+* ``"index"`` (large widths): compressed index arrays (``occupied
+  channels``, ``armed sources``) are maintained incrementally -- a
+  sorted merge of freshly occupied channels, a mask-compress of drained
+  ones -- so per-cycle cost scales with occupancy, not network size.
+
+Both are bit-identical to ``dense=True`` full-width stepping (property
+test: ``tests/properties/test_vec_active_set_properties.py``).  An empty
+active set (equivalently, zero backlog and no in-flight packets in scan
+mode) fast-forwards the run loop to the next admission cycle, the same
+idle-cycle shortcut ``SimCore`` has.
 
 Layout
 ------
@@ -148,6 +175,16 @@ def vec_blockers(
     if probe is not None:
         blockers.append("probe")
     return blockers
+
+
+_EMPTY32 = np.empty(0, dtype=np.int32)
+
+#: Width crossover for active-set derivation: full-width boolean scans
+#: (~1 byte/element linear passes) beat the incremental sorted-merge
+#: upkeep (~30 small kernel dispatches per cycle) until replicas*channels
+#: reaches the tens of thousands; measured on the depth-3/4 fractahedron
+#: curve the break-even sits between 5K and 43K channels.
+ACTIVE_SCAN_MAX = 1 << 15
 
 
 _BATCHED_INTS_OK: bool | None = None
@@ -292,6 +329,11 @@ class VecCore:
     freezes replicas individually (deadlock, drained, budget), so replica
     ``b``'s final :class:`~repro.sim.stats.SimStats` exactly equals the
     stats of an independent single run.
+
+    ``active_set`` selects the sparse stepping discipline (``"auto"`` /
+    ``"scan"`` / ``"index"``; see the module docstring) and ``dense=True``
+    restores full-width kernels -- both knobs exist for the property
+    suite and benchmarks; every mode is bit-identical.
     """
 
     def __init__(
@@ -300,6 +342,9 @@ class VecCore:
         tables: RoutingTable,
         streams: Sequence["TrafficGenerator | UniformPlan"],
         config: SimConfig | None = None,
+        *,
+        dense: bool = False,
+        active_set: str = "auto",
     ) -> None:
         self.net = net
         self.tables = tables
@@ -321,6 +366,13 @@ class VecCore:
         if S > MAX_ENDS:
             raise ValueError(
                 f"vectorized engine supports at most {MAX_ENDS} end nodes (got {S})"
+            )
+        # int32 index arithmetic throughout the step kernels, including
+        # flat FIFO slots (replica * channels * padded depth)
+        if B * max(C * (1 << max(D - 1, 0).bit_length()), S) >= 1 << 31:
+            raise ValueError(
+                "vectorized engine limits replicas x channels x buffer "
+                f"depth to int32 range (got {B} x {C} x {D})"
             )
 
         # ---- static per-channel facts as arrays
@@ -355,12 +407,10 @@ class VecCore:
         self._lf = np.zeros((B, L), dtype=np.int64)
         self._lf_pend: list[np.ndarray] = []  # deferred link-flit counts
         self._scode = np.full((B, S), -1, dtype=np.int64)
-        if B * S * S <= 1 << 25:
-            self._pairseq = np.zeros((B, S, S), dtype=np.int32)
-            self._pairseq_d = None
-        else:  # very large fabrics: per-replica dicts, touched per head only
-            self._pairseq = None
-            self._pairseq_d = [dict() for _ in range(B)]
+        # per-(src, dst) sequence carry across pre-generation windows:
+        # folded lazily (pending tuples) so single-window runs never pay
+        self._pair_pend: list[list[tuple]] = [[] for _ in range(B)]
+        self._pair_carry: list[dict[int, int]] = [{} for _ in range(B)]
 
         # ---- per-packet flat arrays (grown on demand)
         self._pcap = 0
@@ -373,11 +423,38 @@ class VecCore:
         self._qtotal = 0
         self._qpacked = -1
         self._qcodes = np.zeros((B * S, 1), dtype=np.int64)
+        self._qflat, self._qw = self._qcodes.reshape(-1), 1
         self._qstart = np.zeros(B * S, dtype=np.int64)
-        self._qfin = np.zeros(B * S, dtype=np.int64)
         self._qtail = np.zeros(B * S, dtype=np.int64)
         self._win_adm: list[tuple] = []  # (cyc, flat, pid) per pregen call
         self._adm_arrays: dict[int, "tuple | None"] = {}
+        self._adm_cycles = np.empty(0, dtype=np.int64)  # sorted admission cycles
+
+        # ---- active sets: sorted compressed index arrays the sparse step
+        # kernels gather/scatter over instead of the full (B*C,) width.
+        # ``dense`` disables them (full-width scans every cycle) so the
+        # property suite can diff both stepping modes bit-for-bit.
+        self._dense = bool(dense)
+        # active-set derivation mode: below the crossover a full-width
+        # boolean scan re-derives the occupied/armed index arrays each
+        # cycle (a handful of linear passes); above it the incremental
+        # sorted-merge upkeep wins because scans grow with B*C while
+        # upkeep grows with what the cycle actually touched (see
+        # ACTIVE_SCAN_MAX for the calibration)
+        if active_set not in ("auto", "scan", "index"):
+            raise ValueError(f"unknown active_set mode: {active_set!r}")
+        if active_set == "auto":
+            self._scan = B * C <= ACTIVE_SCAN_MAX
+        else:
+            self._scan = active_set == "scan"
+        self._occ_idx = _EMPTY32  # flat (replica, channel) with queued flits
+        self._occ_mask = np.zeros(0 if self._scan else B * C, dtype=bool)
+        # flat (replica, source) with work to inject.  Unlike the occupied
+        # set this one is unsorted: sources never arbitrate against each
+        # other, so no kernel depends on its order, and a membership mask
+        # keeps it duplicate-free without any per-cycle sort.
+        self._armed_idx = _EMPTY32
+        self._armed_mask = np.zeros(0 if self._scan else B * S, dtype=bool)
 
         # ---- per-replica bookkeeping
         self._offered = np.zeros(B, dtype=np.int64)
@@ -444,11 +521,45 @@ class VecCore:
         self._psrc[b, pids] = srcs
         self._pdst[b, pids] = dsts
         self._psize[b, pids] = sizes
+        self._pseq[b, pids] = self._pair_rank(b, srcs, dsts)
         codes = (pids << PID_SHIFT) | (dsts << DEST_SHIFT) | (sizes << SIZE_SHIFT)
         flat = b * self.S + srcs
         self._qchunks.append((flat, codes))
         self._qtotal += pids.size
         self._win_adm.append((cyc_arr, flat, pids))
+
+    def _pair_rank(self, b: int, srcs, dsts) -> np.ndarray:
+        """Injection-time sequence stamps, computed at admission.
+
+        The reference numbers packets per (src, dst) pair as the NIC sends
+        them, but sources are FIFO queues: a pair's packets (all from one
+        source) inject strictly in creation order, so the stamp is simply
+        the packet's creation rank within its pair -- computable here with
+        one stable grouping pass instead of per-head counters in the hot
+        loop.  ``srcs``/``dsts`` arrive in creation order.
+        """
+        pair = srcs * np.int64(self.S) + dsts
+        order = np.argsort(pair, kind="stable")
+        spair = pair[order]
+        first = np.empty(pair.size, dtype=bool)
+        first[0] = True
+        np.not_equal(spair[1:], spair[:-1], out=first[1:])
+        gstart = np.flatnonzero(first)
+        gsize = np.diff(np.append(gstart, pair.size))
+        rank = np.empty(pair.size, dtype=np.int64)
+        rank[order] = np.arange(pair.size, dtype=np.int64) - np.repeat(gstart, gsize)
+        upairs = spair[gstart]
+        carry, pend = self._pair_carry[b], self._pair_pend[b]
+        if carry or pend:  # later windows continue earlier windows' counts
+            for up, gs in pend:
+                for k, n in zip(up.tolist(), gs.tolist()):
+                    carry[k] = carry.get(k, 0) + n
+            pend.clear()
+            base = np.array([carry.get(int(k), 0) for k in upairs], dtype=np.int64)
+            if base.any():
+                rank[order] += np.repeat(base, gsize)
+        pend.append((upairs, gsize))
+        return rank
 
     def _pregen_uniform(self, b: int, st: _Stream, start: int, stop: int) -> None:
         plan = st.plan
@@ -603,7 +714,10 @@ class VecCore:
         integer words (no-rejection layout; the caller verifies).  Returns
         None when ``raw`` is too short."""
         lt = ((raw >> np.uint64(11)) * (2.0**-53)) < rate
-        ltc = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lt))).tolist()
+        # cumulative fired counts stay a numpy array: only 2 scalar reads
+        # per cycle below, and .tolist() on a multi-hundred-K-word window
+        # costs more than the whole scan loop
+        ltc = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lt)))
         limit = raw.size
         p = 0
         h = 0  # integer halves drawn so far
@@ -615,7 +729,7 @@ class VecCore:
         for t in range(T):
             if p + n > limit:
                 return None
-            f = ltc[p + n] - ltc[p]
+            f = int(ltc[p + n]) - int(ltc[p])
             if f:
                 ts.append(t)
                 fs.append(f)
@@ -712,18 +826,25 @@ class VecCore:
             + np.arange(cycs.size, dtype=np.int64)
         )
         cycs = cycs[order]
-        flats = flats[order]
+        flats = flats[order].astype(np.int32)  # B*S fits int32 (checked at init)
         pids = pids[order]
         uc, starts = np.unique(cycs, return_index=True)
         ends = np.append(starts[1:], cycs.size)
         arrays = self._adm_arrays
         for t, s, e in zip(uc.tolist(), starts.tolist(), ends.tolist()):
             arrays[t] = (flats[s:e], pids[s:e])
+        # windows arrive in ascending cycle ranges, so this stays sorted
+        self._adm_cycles = np.concatenate((self._adm_cycles, uc))
 
     def _pack_queues(self) -> None:
         if self._qpacked == self._qtotal:
             return
-        if len(self._qchunks) == 1:
+        if not self._qchunks:
+            # all streams were empty: the first pack still must run (the
+            # packed flag starts unset) and produce the zero-queue arrays
+            flats = np.empty(0, dtype=np.int64)
+            codes = np.empty(0, dtype=np.int64)
+        elif len(self._qchunks) == 1:
             flats, codes = self._qchunks[0]
         else:
             flats = np.concatenate([c[0] for c in self._qchunks])
@@ -743,6 +864,7 @@ class VecCore:
         np.cumsum(counts[:-1], out=starts[1:])
         arr[sf, np.arange(sf.size, dtype=np.int64) - starts[sf]] = codes[order]
         self._qcodes = arr
+        self._qflat, self._qw = arr.reshape(-1), arr.shape[1]
         self._qpacked = self._qtotal
 
     def _adm_events(self, cycle: int):
@@ -786,10 +908,48 @@ class VecCore:
             self._pregen_to(self._cycle + max_cycles)
             self._pack_queues()
         stop = self._cycle + max_cycles
+        b1 = self.B == 1
         while self._cycle < stop:
-            act = self._alive.copy()
-            if not act.any():
-                break
+            if b1:
+                # single-fabric fast path: the kernels below never read
+                # ``act`` when the lone replica is alive, so skip the
+                # per-cycle copy/any reduction
+                if not self._alive[0]:
+                    break
+                act = self._alive
+            else:
+                act = self._alive.copy()
+                if not act.any():
+                    break
+            if (
+                not self._dense
+                and (
+                    (not self._occ_idx.size and not self._armed_idx.size)
+                    if not self._scan
+                    # armed implies backlog > 0 (the count drops only at
+                    # last-flit injection) and occupied implies in-flight
+                    # packets, so two scalar reductions decide idleness
+                    else not self._backlog.any()
+                    and not (self._pi != self._pd).any()
+                )
+            ):
+                # idle-cycle fast-forward (cf. SimCore._fast_forward): no
+                # flit queued and no source armed anywhere, so every cycle
+                # until the next pre-generated admission is provably inert
+                # -- stall counters stay 0 and nothing moves.  Jump the
+                # clock instead of stepping empty kernels.
+                i = int(np.searchsorted(self._adm_cycles, self._cycle))
+                nxt = (
+                    int(self._adm_cycles[i]) if i < self._adm_cycles.size else stop
+                )
+                target = min(max(nxt, self._cycle), stop)
+                if target > self._cycle:
+                    if b1:
+                        self._cyc[0] += target - self._cycle
+                    else:
+                        self._cyc[act] += target - self._cycle
+                    self._cycle = target
+                    continue
             self._step(act, generate=True)
         if drain:
             budget = np.full(self.B, 4 * max_cycles + 1000, dtype=np.int64)
@@ -816,37 +976,80 @@ class VecCore:
         fifo = self._fifo
         fifo_len = self._fifo_len
         fl2 = fifo_len.reshape(B, C)
+        dense = self._dense
+        scan = self._scan
 
-        all_alive = bool(act.all())
+        # single-replica fast path: per-replica reductions (bincounts keyed
+        # on the replica, masked peak/stall updates) collapse to Python
+        # scalar arithmetic on element 0.  Callers never step a lone dead
+        # replica, so b1 implies the replica is alive.
+        b1 = B == 1
+        all_alive = b1 or bool(act.all())
+        # indices whose active-set membership this cycle may have changed
+        src_touch: list[np.ndarray] = []
 
         # ---- inject phase 1: traffic admission (pre-generated arrivals)
         if generate:
             ev = self._adm_events(cycle)
             if ev is not None:
                 fidx, pids = ev
-                b_of = fidx // S
-                if not all_alive:
-                    keep = act[b_of]
-                    if not keep.all():
-                        fidx = fidx[keep]
-                        pids = pids[keep]
-                        b_of = b_of[keep]
+                if b1:
+                    b_of = None
+                else:
+                    b_of = fidx // S
+                    if not all_alive:
+                        keep = act[b_of]
+                        if not keep.all():
+                            fidx = fidx[keep]
+                            pids = pids[keep]
+                            b_of = b_of[keep]
                 if fidx.size:
-                    self._qtail += np.bincount(fidx, minlength=self._qtail.size)
-                    bc = np.bincount(b_of, minlength=B)
-                    self._offered += bc
-                    self._backlog += bc
-                    self._pcreated.reshape(-1)[
-                        b_of * np.int64(self._pcap) + pids
-                    ] = cycle
+                    np.add.at(self._qtail, fidx, 1)
+                    if b1:
+                        self._offered[0] += fidx.size
+                        self._backlog[0] += fidx.size
+                        self._pcreated[0, pids] = cycle
+                    else:
+                        bc = np.bincount(b_of, minlength=B)
+                        self._offered += bc
+                        self._backlog += bc
+                        self._pcreated.reshape(-1)[
+                            b_of * np.int64(self._pcap) + pids
+                        ] = cycle
+                    if not dense and not scan:
+                        # arm immediately: this cycle's latch phase must
+                        # see sources the admission just gave work; fidx
+                        # repeats a source that admitted several packets
+                        # this cycle, so dedupe before extending the set
+                        fresh = fidx.compress(~self._armed_mask.take(fidx))
+                        if fresh.size:
+                            if fresh.size > 1:
+                                fresh = np.unique(fresh)
+                            self._armed_mask[fresh] = True
+                            self._armed_idx = np.concatenate(
+                                (self._armed_idx, fresh)
+                            )
 
         # ---- inject phase 2: idle sources latch the next queued packet
         scode = self._scode
         sflat = scode.reshape(-1)
-        can_start = (sflat < 0) & (self._qstart < self._qtail)
-        if not all_alive:
-            can_start &= np.repeat(act, S)
-        sidx = np.flatnonzero(can_start)
+        if dense or scan:
+            can_start = (sflat < 0) & (self._qstart < self._qtail)
+            if not all_alive:
+                can_start &= np.repeat(act, S)
+            sidx = np.flatnonzero(can_start)
+            arm = None
+        else:
+            arm = self._armed_idx
+            if not all_alive and arm.size:
+                arm = arm.compress(act.take(arm // S))
+            if arm.size:
+                sidx = arm.compress(
+                    (sflat.take(arm) < 0)
+                    & (self._qstart.take(arm) < self._qtail.take(arm))
+                )
+            else:
+                sidx = arm
         if sidx.size:
             if self._any_orphan_src:
                 bad = self._inj_ch[sidx % S] < 0
@@ -855,30 +1058,35 @@ class VecCore:
                     self.net.out_links(node)[0]  # raises like the reference
             qs = self._qstart.take(sidx)
             self._qstart[sidx] = qs + 1
-            sflat[sidx] = np.take(
-                self._qcodes.reshape(-1), sidx * self._qcodes.shape[1] + qs
-            )
+            sflat[sidx] = self._qflat.take(sidx * self._qw + qs)
 
         # ---- route phase: desired output per occupied input buffer.
-        # Work on the sparse occupied set (np.flatnonzero is row-major, i.e.
-        # (replica, channel)-sorted like the reference's sorted(occupied));
-        # every occupied buffer produces exactly one request.
-        occ = fl2 > 0
-        if not all_alive:
-            occ &= act[:, None]
-        # int32 index arithmetic: // and the derived remainder are several
-        # times cheaper than int64 %, and rb comes out for free
-        off = np.flatnonzero(occ).astype(np.int32)
-        rb = off // C
-        rc = off - rb * C
+        # The occupied set is (replica, channel)-sorted like the
+        # reference's sorted(occupied) -- maintained incrementally, or
+        # recomputed by full-width scan in dense mode; every occupied
+        # buffer produces exactly one request.
+        if dense or scan:
+            occ = fl2 > 0
+            if not all_alive:
+                occ &= act[:, None]
+            # int32 index arithmetic: // and the derived remainder are
+            # several times cheaper than int64 %, and rb is free
+            off = np.flatnonzero(occ).astype(np.int32)
+        else:
+            off = self._occ_idx
+            if not all_alive and off.size:
+                off = off.compress(act.take(off // C))
+        if b1:
+            rb = None  # identically zero; materialized only by detections
+            rc = off
+        else:
+            rb = off // C
+            rc = off - rb * C
         cur = self._cur_out.take(off)  # latched keep their worm's output
-        un = cur < 0
-        if un.any():
-            upos = np.flatnonzero(un)
+        upos = (cur < 0).nonzero()[0]
+        if upos.size:
             uoff = off.take(upos)
-            fronts = np.take(
-                self._fifo_flat, uoff * self._Dp + self._fhead.take(uoff)
-            )
+            fronts = self._fifo_flat.take(uoff * self._Dp + self._fhead.take(uoff))
             idxs = fronts & IDX_MASK
             if idxs.any():
                 k = int(np.flatnonzero(idxs)[0])
@@ -889,9 +1097,8 @@ class VecCore:
                 )
             dests = (fronts >> DEST_SHIFT) & DEST_MASK
             urc = rc.take(upos)
-            base = np.take(
-                self._rows_flat,
-                self._ch_router.take(urc) * self._rows_w + dests,
+            base = self._rows_flat.take(
+                self._ch_router.take(urc) * self._rows_w + dests
             )
             if (base < 0).any():
                 base = base.copy()
@@ -901,14 +1108,24 @@ class VecCore:
         ro = cur  # (cur is a fresh gather; heads were patched in place)
 
         # ---- inject phase 3 (decision): space check against pre-move state
-        ready = scode >= 0
-        if not all_alive:
-            ready &= act[:, None]
-        inj_dec = None
-        if ready.any():
-            inj_dec = ready & (
-                fifo_len.take(self._inj_flat).reshape(B, S) < D
-            )
+        if dense or scan:
+            ready = sflat >= 0
+            if not all_alive:
+                ready &= np.repeat(act, S)
+            if ready.any():
+                ipos = np.flatnonzero(
+                    ready & (fifo_len.take(self._inj_flat) < D)
+                ).astype(np.int32)
+            else:
+                ipos = _EMPTY32
+        elif arm.size:
+            # post-latch every armed source holds a latched code (armed
+            # means latched-or-queued, and the latch above just converted
+            # the queued-only ones), so the armed set IS the ready set;
+            # only the injection-buffer space check remains
+            ipos = arm.compress(fifo_len.take(self._inj_flat.take(arm)) < D)
+        else:
+            ipos = arm
 
         # ---- allocate phase: grants per (replica, output channel)
         check = cycle % self.config.deadlock_check_interval == 0
@@ -917,176 +1134,280 @@ class VecCore:
         parts = []
         if off.size:
             if check:
-                n_desire_b = np.bincount(rb, minlength=B)
-            key = off + (ro - rc)  # == rb*C + desired output channel
+                n_desire_b = off.size if b1 else np.bincount(rb, minlength=B)
+            key = ro if b1 else off + (ro - rc)  # == rb*C + desired output
             sp = self._ch_end.take(ro) | (fifo_len.take(key) < D)
             h = self._holder.take(key)
-            g_held = (h == rc) & sp  # h == -1 never matches a channel index
-            if g_held.any():
-                parts.append(np.flatnonzero(g_held))
-            fpos = np.flatnonzero(h < 0)
+            ghp = ((h == rc) & sp).nonzero()[0]  # h == -1 never matches
+            if ghp.size:
+                parts.append(ghp)
+            fpos = (h < 0).nonzero()[0]
             if fpos.size:
-                # free-output head requests, grouped by (replica, output).
-                # Uncontended outputs (the common case) take a sort-free
-                # path: their single requester wins round-robin trivially.
+                # free-output head requests, grouped by (replica, output)
+                # with one composite (key, position) sort: an in-place
+                # value sort is ~3x faster than numpy's stable mergesort
+                # argsort on the bare key, the sorted positions come back
+                # out of the low bits for free, and -- unlike a bincount
+                # keyed on channels -- nothing here scales with B*C.  The
+                # stable order keeps group members in ascending channel
+                # order, so round-robin arbitration picks the reference
+                # engine's winner; single-requester groups win trivially.
                 fkey = key.take(fpos)
-                cnt = np.bincount(fkey)  # auto-sized to max(fkey)+1
-                many = cnt.take(fkey) > 1
-                if many.any():
-                    # contended groups: the stable sort keeps members in
-                    # ascending channel order, so round-robin arbitration
-                    # picks the reference engine's winner
-                    mpos = fpos[many]
-                    mkey = key.take(mpos)
-                    # stable sort via a (key, position) composite: an
-                    # in-place value sort is ~3x faster than numpy's stable
-                    # mergesort argsort on the bare key, and the sorted
-                    # positions come back out of the low bits for free
-                    comp = (mkey.astype(np.int64) << 24) + np.arange(
-                        mkey.size, dtype=np.int64
-                    )
-                    comp.sort()
-                    skey = comp >> 24
-                    sk = comp & 0xFFFFFF
-                    first = np.empty(skey.size, dtype=bool)
-                    first[0] = True
-                    np.not_equal(skey[1:], skey[:-1], out=first[1:])
-                    gstart = np.flatnonzero(first)
-                    gkeys = skey.take(gstart)
-                    gcounts = np.diff(np.append(gstart, skey.size))
-                    gsp = sp.take(mpos.take(sk.take(gstart)))
-                    if gsp.any():
-                        rrv = self._rr.take(gkeys)
-                        wpos = gstart + rrv % gcounts
-                        winners = mpos.take(sk.take(wpos[gsp]))
-                        wk = key.take(winners)
-                        self._rr[gkeys[gsp]] = rrv[gsp] + 1
-                        self._holder[wk] = rc.take(winners)
-                        parts.append(winners)
-                    spos = fpos[~many]
-                else:
-                    spos = fpos
-                if spos.size:
-                    wins = spos[sp.take(spos)]
-                    if wins.size:
-                        wk = key.take(wins)
-                        self._rr[wk] = self._rr.take(wk) + 1
-                        self._holder[wk] = rc.take(wins)
-                        parts.append(wins)
+                comp = (fkey.astype(np.int64) << 24) + np.arange(
+                    fkey.size, dtype=np.int64
+                )
+                comp.sort()
+                skey = comp >> 24
+                sk = comp & 0xFFFFFF
+                first = np.empty(skey.size, dtype=bool)
+                first[0] = True
+                np.not_equal(skey[1:], skey[:-1], out=first[1:])
+                gstart = first.nonzero()[0]
+                gkeys = skey.take(gstart)
+                gcounts = np.empty(gstart.size, dtype=np.int64)
+                np.subtract(gstart[1:], gstart[:-1], out=gcounts[:-1])
+                gcounts[-1] = skey.size - gstart[-1]
+                # every member of a group wants the same output, so space
+                # is a group-level property of the first member
+                gsp = sp.take(fpos.take(sk.take(gstart)))
+                if gsp.any():
+                    rrv = self._rr.take(gkeys)
+                    wpos = gstart + rrv % gcounts
+                    winners = fpos.take(sk.take(wpos[gsp]))
+                    wk = key.take(winners)
+                    self._rr[gkeys[gsp]] = rrv[gsp] + 1
+                    self._holder[wk] = rc.take(winners)
+                    parts.append(winners)
 
         # ---- traverse/eject phase: execute grants (grant order is
         # immaterial: every scatter target below is unique per cycle, and
         # deliveries are explicitly re-sorted)
-        moved_b = np.zeros(B, dtype=np.int64)
+        moved0 = 0  # single-replica moved-flit tally (Python int)
+        moved_b = None if b1 else np.zeros(B, dtype=np.int64)
+        push_ch = push_codes = None  # FIFO pushes deferred and fused below
         if parts:
             gsel = np.concatenate(parts) if len(parts) > 1 else parts[0]
             bfc = off.take(gsel)
-            gb = rb.take(gsel)
-            gc = rc.take(gsel)
             go = ro.take(gsel)
-            okey = bfc + (go - gc)  # flat index of each grant's output
+            if b1:
+                gb = None
+                gc = bfc  # local channel == flat channel for one replica
+                okey = go
+            else:
+                gb = rb.take(gsel)
+                gc = rc.take(gsel)
+                okey = bfc + (go - gc)  # flat index of each grant's output
             hd = self._fhead.take(bfc)
             codes = self._fifo_flat.take(bfc * self._Dp + hd)
             idx = codes & IDX_MASK
             size = (codes >> SIZE_SHIFT) & SIZE_MASK
-            hpos = np.flatnonzero(idx == 0)
-            tpos = np.flatnonzero(idx == size - 1)
+            hpos = (idx == 0).nonzero()[0]
+            tpos = (idx == size - 1).nonzero()[0]
             self._cur_out[bfc.take(hpos)] = go.take(hpos)
             self._fhead[bfc] = (hd + 1) & (self._Dp - 1)  # ring-buffer pop
             fifo_len[bfc] = fifo_len.take(bfc) - 1
             self._cur_out[bfc.take(tpos)] = -1
             self._holder[okey.take(tpos)] = -1
             li = go // V if V > 1 else go
-            self._lf_pend.append(gb * L + li)
+            self._lf_pend.append(li if b1 else gb * L + li)
             em = self._ch_end.take(go)
-            # one bincount keyed on (replica, end?) counts grants and
-            # deliveries together
-            both = np.bincount(gb * 2 + em, minlength=2 * B)
-            self._fdel += both[1::2]
-            tem = em.take(tpos)
-            if tem.any():
+            if b1:
+                ndel = int(np.count_nonzero(em))
+                self._fdel[0] += ndel
+                moved0 += em.size
+                if check:
+                    n_granted_b = em.size
+            else:
+                # one bincount keyed on (replica, end?) counts grants and
+                # deliveries together
+                both = np.bincount(gb * 2 + em, minlength=2 * B)
+                self._fdel += both[1::2]
+            dmi = tpos.compress(em.take(tpos))
+            if dmi.size:
                 # deliveries sorted by (replica, output channel): the
                 # reference engine appends latencies in sorted out-key
                 # order, and channel ints sort exactly like the keys
-                dmi = tpos[tem]
-                dbg = gb.take(dmi)
                 dgo = go.take(dmi)
-                order = np.argsort(dbg * C + dgo)  # unique keys
-                db = dbg.take(order)
-                dp = np.take(codes.take(dmi) >> PID_SHIFT, order)
-                self._pdel.reshape(-1)[db * np.int64(self._pcap) + dp] = cycle
-                self._pd += np.bincount(db, minlength=B)
-                self._del_b.append(db)
+                if b1:
+                    order = np.argsort(dgo)  # unique keys
+                    dp = (codes.take(dmi) >> PID_SHIFT).take(order)
+                    self._pdel[0, dp] = cycle
+                    self._pd[0] += dp.size
+                else:
+                    dbg = gb.take(dmi)
+                    order = np.argsort(dbg * C + dgo)  # unique keys
+                    db = dbg.take(order)
+                    dp = (codes.take(dmi) >> PID_SHIFT).take(order)
+                    self._pdel.reshape(-1)[db * np.int64(self._pcap) + dp] = cycle
+                    self._pd += np.bincount(db, minlength=B)
+                    self._del_b.append(db)
                 self._del_pid.append(dp)
-            pmi = np.flatnonzero(~em)
-            bfo = okey.take(pmi)
-            fl_o = fifo_len.take(bfo)
-            slot = (self._fhead.take(bfo) + fl_o) & (self._Dp - 1)
-            self._fifo_flat[bfo * self._Dp + slot] = codes.take(pmi)
-            fifo_len[bfo] = fl_o + 1
-            g_cnt = both[0::2] + both[1::2]
-            moved_b += g_cnt
-            if check:
-                n_granted_b = g_cnt
+            pmi = (~em).nonzero()[0]
+            push_ch = okey.take(pmi)
+            push_codes = codes.take(pmi)
+            if not b1:
+                g_cnt = both[0::2] + both[1::2]
+                moved_b += g_cnt
+                if check:
+                    n_granted_b = g_cnt
 
         # ---- inject phase 4: execute injections
-        if inj_dec is not None and inj_dec.any():
-            ipos = np.flatnonzero(inj_dec).astype(np.int32)
-            ib = ipos // S
-            isr = ipos - ib * S
+        if ipos.size:
+            if b1:
+                isr = ipos
+            else:
+                ib = ipos // S
+                isr = ipos - ib * S
             codes = sflat.take(ipos)
             idx = codes & IDX_MASK
             size = (codes >> SIZE_SHIFT) & SIZE_MASK
             io = self._inj_ch.take(isr)
             heads = idx == 0
             if heads.any():
-                hb = ib[heads]
-                hs = isr[heads]
                 hp = codes[heads] >> PID_SHIFT
-                hd = (codes[heads] >> DEST_SHIFT) & DEST_MASK
-                hpk = hb * np.int64(self._pcap) + hp
-                self._pinj.reshape(-1)[hpk] = cycle
-                self._pi += np.bincount(hb, minlength=B)
-                if self._pairseq is not None:
-                    ps = self._pairseq.reshape(-1)
-                    pidx = (hb * S + hs) * S + hd
-                    seq = ps.take(pidx)
-                    ps[pidx] = seq + 1
+                # sequence stamps were precomputed at admission (_pair_rank)
+                if b1:
+                    self._pinj[0, hp] = cycle
+                    self._pi[0] += hp.size
                 else:
-                    seq = np.empty(hb.size, dtype=np.int64)
-                    for i in range(hb.size):
-                        d = self._pairseq_d[int(hb[i])]
-                        kk = (int(hs[i]), int(hd[i]))
-                        v = d.get(kk, 0)
-                        seq[i] = v
-                        d[kk] = v + 1
-                self._pseq.reshape(-1)[hpk] = seq
-            bfo = ib * C + io
-            fl_o = fifo_len.take(bfo)
-            slot = (self._fhead.take(bfo) + fl_o) & (self._Dp - 1)
-            self._fifo_flat[bfo * self._Dp + slot] = codes
-            fifo_len[bfo] = fl_o + 1
+                    hb = ib[heads]
+                    self._pinj.reshape(-1)[hb * np.int64(self._pcap) + hp] = cycle
+                    self._pi += np.bincount(hb, minlength=B)
+            bfo = io if b1 else ib * C + io
+            # injections join the traverse pushes in one fused scatter:
+            # injection channels never receive traverse pushes, so the
+            # combined target set stays unique per cycle
+            if push_ch is None:
+                push_ch, push_codes = bfo, codes
+            else:
+                push_ch = np.concatenate((push_ch, bfo))
+                push_codes = np.concatenate((push_codes, codes))
             li = io // V if V > 1 else io
-            self._lf_pend.append(ib * L + li)
+            self._lf_pend.append(li if b1 else ib * L + li)
             last = idx == size - 1
             sflat[ipos] = np.where(last, np.int64(-1), codes + 1)
-            # one bincount keyed on (replica, last?) counts injections and
-            # packet completions together
-            ibl = np.bincount(ib * 2 + last, minlength=2 * B)
-            if last.any():
-                lpos = ipos[last]
-                self._qfin[lpos] = self._qfin.take(lpos) + 1
-                self._backlog -= ibl[1::2]
-            moved_b += ibl[0::2] + ibl[1::2]
+            if b1:
+                nlast = int(np.count_nonzero(last))
+                if nlast:
+                    lpos = ipos[last]
+                    self._backlog[0] -= nlast
+                    if not dense and not scan:
+                        src_touch.append(lpos)
+                moved0 += ipos.size
+            else:
+                # one bincount keyed on (replica, last?) counts injections
+                # and packet completions together
+                ibl = np.bincount(ib * 2 + last, minlength=2 * B)
+                if last.any():
+                    lpos = ipos[last]
+                    self._backlog -= ibl[1::2]
+                    if not dense and not scan:
+                        src_touch.append(lpos)
+                moved_b += ibl[0::2] + ibl[1::2]
+
+        # ---- execute the fused FIFO pushes (targets unique per cycle)
+        occ_fresh = None
+        if push_ch is not None and push_ch.size:
+            fl_o = fifo_len.take(push_ch)
+            slot = (self._fhead.take(push_ch) + fl_o) & (self._Dp - 1)
+            self._fifo_flat[push_ch * self._Dp + slot] = push_codes
+            fifo_len[push_ch] = fl_o + 1
+            if not dense and not scan:
+                # a push occupies its channel iff it found it empty AND the
+                # channel is not already a member (popped-to-zero inputs
+                # that were re-filled this cycle stay in the set)
+                occ_fresh = push_ch.compress(
+                    (fl_o == 0) & ~self._occ_mask.take(push_ch)
+                )
+
+        # ---- active-set maintenance: union the touched indices into the
+        # sorted sets and re-derive membership from post-move state.  Cost
+        # is O(active log active), never O(B*C): upkeep scales with what
+        # the cycle moved, not with the network width.
+        if not dense and not scan:
+            occ = self._occ_idx
+            if parts is not None and len(parts):
+                # only popped channels can empty, and every pop is in occ
+                keep = fifo_len.take(occ) > 0
+                if not keep.all():
+                    self._occ_mask[occ.compress(~keep)] = False
+                    occ = occ.compress(keep)
+            if occ_fresh is not None and occ_fresh.size:
+                self._occ_mask[occ_fresh] = True
+                occ_fresh.sort()
+                # two-sorted-array merge (np.insert pays an argsort)
+                at = np.searchsorted(occ, occ_fresh) + np.arange(
+                    occ_fresh.size, dtype=np.int64
+                )
+                merged = np.empty(occ.size + occ_fresh.size, dtype=occ.dtype)
+                merged[at] = occ_fresh
+                hole = np.ones(merged.size, dtype=bool)
+                hole[at] = False
+                merged[hole] = occ
+                occ = merged
+            self._occ_idx = occ
+            if src_touch:
+                # only sources that injected their worm's last flit this
+                # cycle (lpos) can disarm: every other armed source still
+                # holds a latched code (armed = latched-or-queued, and the
+                # latch phase converts queued-only sources on sight)
+                lp = (
+                    src_touch[0]
+                    if len(src_touch) == 1
+                    else np.concatenate(src_touch)
+                )
+                dis = lp.compress(self._qstart.take(lp) >= self._qtail.take(lp))
+                if dis.size:
+                    self._armed_mask[dis] = False
+                    am = self._armed_idx
+                    self._armed_idx = am.compress(self._armed_mask.take(am))
 
         # ---- progress / deadlock bookkeeping
-        self._fmoved += moved_b
         if len(self._lf_pend) >= 512:
             self._flush_lf()
-        occ_cnt = np.count_nonzero(fl2, axis=1)
-        upd = act & (occ_cnt > self._peak)
-        if upd.any():
-            self._peak[upd] = occ_cnt[upd]
+        if b1:
+            # scalar bookkeeping for the lone (alive) replica
+            self._fmoved[0] += moved0
+            if dense or scan:
+                occ0 = int(np.count_nonzero(fifo_len))
+            else:
+                occ0 = self._occ_idx.size
+            if occ0 > self._peak[0]:
+                self._peak[0] = occ0
+            stalled = moved0 == 0 and (
+                occ0 > 0 or int(self._pi[0]) > int(self._pd[0])
+            )
+            det1v = det2v = False
+            if stalled:
+                self._stall[0] += 1
+                det1v = bool(self._stall[0] >= self.config.stall_threshold)
+            else:
+                self._stall[0] = 0
+                if check and n_desire_b is not None:
+                    det2v = (n_granted_b or 0) < n_desire_b
+            if det1v or det2v:
+                det1 = np.array([det1v])
+                det2 = np.array([det2v]) if check and n_desire_b is not None else None
+                rb = np.zeros_like(off)
+                if parts:
+                    gb = np.zeros_like(gc)
+                self._run_detections(det1, det2, rb, rc, ro, gb, gc, cycle)
+            self._cyc[0] += 1
+            self._cycle = cycle + 1
+            return
+        self._fmoved += moved_b
+        if dense or scan:
+            occ_cnt = np.count_nonzero(fl2, axis=1)
+        elif self._occ_idx.size:
+            occ_cnt = np.bincount(self._occ_idx // C, minlength=B)
+        else:
+            occ_cnt = np.zeros(B, dtype=np.int64)
+        if all_alive:
+            np.maximum(self._peak, occ_cnt, out=self._peak)
+        else:
+            upd = act & (occ_cnt > self._peak)
+            if upd.any():
+                self._peak[upd] = occ_cnt[upd]
         infl = self._pi - self._pd
         stallm = act & (moved_b == 0) & ((infl > 0) | (occ_cnt > 0))
         self._stall[stallm] += 1
@@ -1201,9 +1522,17 @@ class VecCore:
     # results
     # ------------------------------------------------------------------
     def _delivery_order(self) -> list[np.ndarray]:
-        if self._dord is not None and self._dord_n == len(self._del_b):
+        if self._dord is not None and self._dord_n == len(self._del_pid):
             return self._dord
-        if self._del_b:
+        if self.B == 1:
+            # the single-replica step skips per-chunk replica labels:
+            # everything delivered belongs to replica 0, already in order
+            self._dord = [
+                np.concatenate(self._del_pid)
+                if self._del_pid
+                else np.empty(0, dtype=np.int64)
+            ]
+        elif self._del_b:
             db = np.concatenate(self._del_b)
             dp = np.concatenate(self._del_pid)
             order = np.argsort(db, kind="stable")
@@ -1214,7 +1543,7 @@ class VecCore:
         else:
             empty = np.empty(0, dtype=np.int64)
             self._dord = [empty] * self.B
-        self._dord_n = len(self._del_b)
+        self._dord_n = len(self._del_pid)
         return self._dord
 
     def _violations(self, b: int) -> list[str]:
@@ -1328,22 +1657,11 @@ class VecCore:
         size = self._psize[b, sel]
         inj = self._pinj[b, sel]
         dlv = self._pdel[b, sel]
-        seq = self._pseq[b, sel]
-        # never-injected packets keep their creation-order sequence stamp
-        # (what SequenceCounter.make assigned): rank within the (src, dst)
-        # pair in creation order, which for dense ids is pid order
-        pair = src * np.int64(self.S) + dst
-        order = np.argsort(pair, kind="stable")
-        rank = np.empty(sel.size, dtype=np.int64)
-        if sel.size:
-            spair = pair[order]
-            first = np.empty(sel.size, dtype=bool)
-            first[0] = True
-            np.not_equal(spair[1:], spair[:-1], out=first[1:])
-            gstart = np.flatnonzero(first)
-            pos = np.arange(sel.size, dtype=np.int64)
-            rank[order] = pos - np.repeat(gstart, np.diff(np.append(gstart, sel.size)))
-        seqs = np.where(inj >= 0, seq, rank)
+        # creation rank within the (src, dst) pair -- what _pair_rank
+        # stamped at admission -- matches both the injection-time number
+        # (FIFO sources) and SequenceCounter.make's creation-order stamp
+        # for packets that never injected
+        seqs = self._pseq[b, sel]
         ends = self._cn.end_ids
         out: dict[int, Packet] = {}
         for i in range(sel.size):

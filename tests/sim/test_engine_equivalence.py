@@ -13,6 +13,12 @@ reference engine.  This suite sweeps the matrix:
 plus virtual channels, router pipeline delay, recovery policies, and the
 Figure 1 forced deadlock.  Any nonzero diff anywhere is a bug in the
 compiled core, never an accepted tolerance.
+
+The vectorized core joins the matrix two ways: single-replica (B=1) runs
+on wide depth-2/3 fractahedrons must match both scalar engines on the
+field-complete signature, and the width-aware ``auto`` dispatch must
+route wide single fabrics to it without breaking the narrow-fabric and
+hook-using selections.
 """
 
 from __future__ import annotations
@@ -183,9 +189,87 @@ class TestRecoveryEquivalence:
         assert results["compiled"] == results["reference"]
 
 
+class TestSingleReplicaVecEquivalence:
+    """B=1 VecCore vs both scalar engines on wide fractahedrons.
+
+    The batch parity suite covers the vectorized core on small fabrics
+    with many replicas; this is the other corner the dispatcher now
+    serves -- one large fabric, one replica, where the channel count is
+    the amortizing width.  The traffic travels as a ``UniformPlan`` so
+    every engine consumes the identical stream (the facade builds it for
+    the scalar cores).
+    """
+
+    @pytest.mark.parametrize(
+        "levels,rate,cycles", [(2, 0.08, 300), (3, 0.02, 120)]
+    )
+    def test_depth_matrix_bit_identical(self, levels, rate, cycles):
+        from repro.core.routing import fractahedral_tables
+        from repro.sim.vec import UniformPlan
+
+        net = fat_fractahedron(levels, fanout_width=2)
+        tables = fractahedral_tables(net)
+        plan = UniformPlan(rate=rate, packet_size=4, seed=11)
+        sigs = {}
+        for engine in ("reference", "compiled", "vectorized"):
+            sim = WormholeSim(
+                net,
+                tables,
+                plan,
+                SimConfig(
+                    raise_on_deadlock=False, stall_threshold=200, engine=engine
+                ),
+            )
+            sim.run(cycles, drain=True)
+            sim.finalize()
+            assert sim.engine == engine
+            sigs[engine] = signature(sim)
+        assert sigs["vectorized"] == sigs["compiled"] == sigs["reference"]
+
+
 class TestEngineSelection:
     def test_auto_prefers_compiled(self):
         sim = run_engine("auto", "mesh", "uniform", False, cycles=50)
+        assert sim.engine == "compiled"
+
+    def test_auto_dispatches_wide_single_fabric_to_vec(self):
+        from repro.core.routing import fractahedral_tables
+        from repro.sim.vec import UniformPlan
+
+        net = fat_fractahedron(3, fanout_width=2)
+        sim = WormholeSim(
+            net,
+            fractahedral_tables(net),
+            UniformPlan(rate=0.02, packet_size=8, seed=1),
+            SimConfig(raise_on_deadlock=False, stall_threshold=200),
+        )
+        assert sim.engine == "vectorized"
+
+    def test_auto_keeps_narrow_fabric_compiled(self):
+        from repro.sim.vec import UniformPlan
+
+        net, tables = _fracta()
+        sim = WormholeSim(
+            net,
+            tables,
+            UniformPlan(rate=0.02, packet_size=8, seed=1),
+            SimConfig(raise_on_deadlock=False, stall_threshold=200),
+        )
+        assert sim.engine == "compiled"
+
+    def test_auto_with_probe_stays_off_the_vectorized_core(self):
+        from repro.core.routing import fractahedral_tables
+        from repro.obs import SimProbe
+        from repro.sim.vec import UniformPlan
+
+        net = fat_fractahedron(3, fanout_width=2)
+        sim = WormholeSim(
+            net,
+            fractahedral_tables(net),
+            UniformPlan(rate=0.02, packet_size=8, seed=1),
+            SimConfig(raise_on_deadlock=False, stall_threshold=200),
+            probe=SimProbe(50),
+        )
         assert sim.engine == "compiled"
 
     def test_auto_falls_back_on_unsupported(self):
