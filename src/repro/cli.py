@@ -370,6 +370,7 @@ def cmd_show(args) -> int:
 
 def cmd_certify(args) -> int:
     from repro.deadlock.analysis import certify_deadlock_free
+    from repro.deadlock.certifier import certify_channel_order
 
     net = _build(args.topology, args.param)
     tables = _routing_for(net)
@@ -383,6 +384,20 @@ def cmd_certify(args) -> int:
         print("  sample cycle: " + " -> ".join(result.sample_cycle[:6]))
     for failure in result.failures:
         print(f"  {failure}")
+    order = certify_channel_order(net, tables)
+    if order.deadlock_free:
+        print(
+            f"  channel-order certificate: {order.num_channels} channels "
+            "in ascending order (verified)"
+        )
+    elif order.counterexample:
+        print(
+            "  channel-order counterexample: "
+            + " -> ".join(order.counterexample[:6])
+        )
+    if order.deadlock_free != result.deadlock_free:
+        print("  CERTIFIER DISAGREEMENT: CDG cycle check vs channel order")
+        return 1
     return 0 if result.certified else 1
 
 

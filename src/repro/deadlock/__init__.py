@@ -17,12 +17,24 @@ from repro.deadlock.cdg import (
     is_deadlock_free,
 )
 from repro.deadlock.analysis import CertificationResult, certify_deadlock_free
+from repro.deadlock.certifier import (
+    ChannelOrderCertificate,
+    OrderCertification,
+    certify_channel_order,
+    channel_order_for,
+    synthesize_ordered_routing,
+)
 from repro.deadlock.waitfor import WaitForGraph
 
 __all__ = [
     "CertificationResult",
+    "ChannelOrderCertificate",
+    "OrderCertification",
     "WaitForGraph",
+    "certify_channel_order",
     "certify_deadlock_free",
+    "channel_order_for",
+    "synthesize_ordered_routing",
     "channel_dependency_graph",
     "channel_dependency_graph_vc",
     "cycle_report",

@@ -201,6 +201,7 @@ def _ensure_defaults() -> None:
         fig2_hypercube,
         fig3_assemblies,
         future_simulation,
+        modern_topologies,
         scale_study,
         sec24_deadlock,
         sec31_mesh,
@@ -223,6 +224,7 @@ def _ensure_defaults() -> None:
         "adaptive": adaptive_order,
         "faults": fault_study,
         "scale": scale_study,
+        "modern": modern_topologies,
         "futurework": future_simulation,
         "ablations": ablations,
     }.items():

@@ -102,6 +102,35 @@ HEADLINE_CHECKS: dict[str, Any] = {
             ),
         ),
     ],
+    "modern": lambda r: [
+        (
+            "both certifiers agree on every (topology, routing) pair",
+            r["all_agree"],
+        ),
+        (
+            "full-mesh valley spreading certified with zero VCs",
+            r["vc_free_fullmesh_certified"],
+        ),
+        (
+            "naive full-mesh spreading correctly rejected",
+            r["naive_fullmesh_rejected"],
+        ),
+        (
+            "sampled routing validation passes on every fabric",
+            all(row["ok"] for row in r["validation"]),
+        ),
+        (
+            "three-engine counter parity on every fabric",
+            all(row["parity"] for row in r["parity"]),
+        ),
+        (
+            "recovery restores full delivery on every fabric",
+            all(
+                row["delivery_rate"] == 1.0 and row["post_recovery_rate"] == 1.0
+                for row in r["recovery"]
+            ),
+        ),
+    ],
     "scale": lambda r: [
         (
             "hierarchical tables match the whole-graph oracle at every depth",

@@ -28,9 +28,12 @@ from repro.routing.cache import (
     network_fingerprint,
 )
 from repro.routing.disables import DisableSet, apply_disables, disables_respected
+from repro.routing.dragonfly import dragonfly_minimal_tables, dragonfly_vc_assign
+from repro.routing.fullmesh import fullmesh_spread_routes
+from repro.routing.hyperx import hyperx_dor_tables, hyperx_valiant_routes
 from repro.routing.turns import TurnSet, break_cycles_with_turns, turn_restricted_tables
 from repro.routing.vc import dateline_vc_select, vc_for_route
-from repro.routing.validate import validate_routing
+from repro.routing.validate import sample_pairs, validate_routing
 
 __all__ = [
     "DisableSet",
@@ -50,9 +53,15 @@ __all__ = [
     "compute_route",
     "dimension_order_tables",
     "disables_respected",
+    "dragonfly_minimal_tables",
+    "dragonfly_vc_assign",
     "ecube_tables",
     "fat_tree_tables",
+    "fullmesh_spread_routes",
+    "hyperx_dor_tables",
+    "hyperx_valiant_routes",
     "routes_for_pairs",
+    "sample_pairs",
     "shortest_path_tables",
     "tree_tables",
     "turn_restricted_tables",

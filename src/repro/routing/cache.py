@@ -75,8 +75,10 @@ def _disables_fingerprint(disables: Any) -> str:
 def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
     from repro.core.routing import fractahedral_tables
     from repro.routing.dimension_order import dimension_order_tables
+    from repro.routing.dragonfly import dragonfly_minimal_tables
     from repro.routing.ecube import ecube_tables
     from repro.routing.hierarchical import hier_shortest_path_tables
+    from repro.routing.hyperx import hyperx_dor_tables
     from repro.routing.shortest_path import shortest_path_tables
     from repro.routing.tree_routing import tree_tables, up_down_tables
     from repro.topology.butterfly import butterfly_tables
@@ -85,10 +87,12 @@ def _load_algorithms() -> dict[str, Callable[..., RoutingTable]]:
     return {
         "butterfly": butterfly_tables,
         "dimension_order": dimension_order_tables,
+        "dragonfly": dragonfly_minimal_tables,
         "ecube": ecube_tables,
         "fat_tree": fat_tree_tables,
         "fractahedral": fractahedral_tables,
         "hier_shortest_path": hier_shortest_path_tables,
+        "hyperx": hyperx_dor_tables,
         "shortest_path": shortest_path_tables,
         "tree": tree_tables,
         "up_down": up_down_tables,
@@ -144,6 +148,10 @@ def algorithm_for(net: Network) -> str:
         return "dimension_order"
     if topology == "hypercube":
         return "ecube"
+    if topology == "hyperx":
+        return "hyperx"
+    if topology == "dragonfly":
+        return "dragonfly"
     return "shortest_path"
 
 

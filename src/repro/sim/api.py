@@ -130,9 +130,13 @@ def execute(spec: SimSpec) -> RunResult:
     materialized here as before.
     """
     net, tables = spec.resolve()
+    # exact type, not isinstance: a subclass may override build(), which
+    # the vectorized array fast path would silently ignore (it reads
+    # rate/seed off the plan directly) -- subclasses materialize here and
+    # take the compiled/reference path
     traffic = (
         spec.traffic
-        if isinstance(spec.traffic, UniformPlan)
+        if type(spec.traffic) is UniformPlan
         else spec.build_traffic(net)
     )
     sim = make_sim(net, tables, traffic, spec.config)
@@ -194,7 +198,9 @@ def preferred_engine(net: Network, config: SimConfig, traffic: Any) -> str:
     with hooks -- probes, traces, recovery -- must also pass them through
     ``vec_blockers`` themselves; this checks config-level blockers only).
     """
-    if not isinstance(traffic, UniformPlan) or vec_blockers(config):
+    if type(traffic) is not UniformPlan or vec_blockers(config):
+        # exact type: UniformPlan subclasses may override build(), which
+        # the array fast path ignores -- they go compiled, deterministically
         return "compiled"
     num_channels = net.num_links * config.vc_count
     occ = expected_occupancy(num_channels, net.num_end_nodes, traffic)
@@ -213,7 +219,7 @@ def _batchable(spec: SimSpec) -> bool:
     """
     return (
         spec.config.engine in ("auto", "vectorized")
-        and isinstance(spec.traffic, UniformPlan)
+        and type(spec.traffic) is UniformPlan
         and not vec_blockers(spec.config)
     )
 

@@ -684,15 +684,19 @@ class WormholeSim:
         ):
             blockers.append("non-FaultSchedule fault object")
 
+        from repro.sim.vec import UniformPlan
+
         engine = cfg.engine
         if engine == "auto":
             if blockers:
                 engine = "reference"
             else:
                 engine = "compiled"
-                from repro.sim.vec import UniformPlan, vec_blockers
+                from repro.sim.vec import vec_blockers
 
-                if isinstance(traffic, UniformPlan) and not vec_blockers(
+                # exact type: subclasses may override build(), which the
+                # array fast path would ignore -- they stay compiled
+                if type(traffic) is UniformPlan and not vec_blockers(
                     cfg,
                     vc_select=vc_select,
                     fault=fault,
@@ -731,10 +735,14 @@ class WormholeSim:
                     "engine='vectorized' does not support: " + ", ".join(vb)
                 )
 
-        if engine != "vectorized" and hasattr(traffic, "build"):
+        if hasattr(traffic, "build") and (
+            engine != "vectorized" or type(traffic) is not UniformPlan
+        ):
             # a traffic plan (hashable recipe) must be materialized for
-            # the scalar engines; the vectorized core consumes the plan
-            # itself so its array fast path can pre-generate arrivals
+            # the scalar engines; the vectorized core consumes an exact
+            # UniformPlan itself so its array fast path can pre-generate
+            # arrivals -- but a *subclass* plan must be built even for
+            # the vectorized engine, or its overridden build() is ignored
             traffic = traffic.build(net)
 
         if engine == "vectorized":

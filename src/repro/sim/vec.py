@@ -228,7 +228,11 @@ def _raw_uniform_ok() -> bool:
     if _RAW_UNIFORM_OK is None:
         try:
             _RAW_UNIFORM_OK = _check_raw_uniform()
-        except Exception:
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # An exotic numpy build or bit generator can lack the PCG64
+            # state-dict shape the probe pokes at; that only means "no
+            # fast path", so fall back quietly.  Anything else (a kernel
+            # bug, a MemoryError) must propagate, not silently degrade.
             _RAW_UNIFORM_OK = False
     return _RAW_UNIFORM_OK
 
@@ -303,6 +307,14 @@ class _Stream:
     __slots__ = ("gen", "plan", "rng", "node_end", "next_pid", "orig")
 
     def __init__(self, source, net: Network, end_index: dict[str, int]) -> None:
+        if isinstance(source, UniformPlan) and type(source) is not UniformPlan:
+            # the plan branch reads rate/seed directly and would silently
+            # ignore a subclass's overridden build(); callers must
+            # materialize subclass plans before handing them to the core
+            raise TypeError(
+                f"{type(source).__name__} is a UniformPlan subclass: "
+                "build() it before passing it to VecCore"
+            )
         if isinstance(source, UniformPlan):
             self.plan = source
             self.gen = None

@@ -1,0 +1,88 @@
+"""Dragonfly topology: fully-connected groups joined by global links.
+
+The canonical hierarchical low-diameter fabric (Kim et al.; arXiv
+2502.01214 surveys the modern variants): routers form fully-connected
+*groups*, and each router also owns ``h`` *global* ports; the groups are
+themselves (at full size) fully connected through those global links, so
+any pair of end nodes is reachable in at most local-global-local = 3
+switch hops.  Minimal l-g-l routing chains a local channel into a global
+channel into another group's local channel, which *can* close dependency
+cycles across groups -- the reason dragonfly routing is certified with a
+hop-class virtual-channel ladder (see :mod:`repro.routing.dragonfly`).
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+
+__all__ = ["dragonfly", "dragonfly_router_id"]
+
+
+def dragonfly_router_id(group: int, slot: int) -> str:
+    """Canonical router id for (group, slot-in-group)."""
+    return f"G{group}R{slot}"
+
+
+def dragonfly(
+    groups: int,
+    routers_per_group: int = 4,
+    nodes_per_router: int = 2,
+    global_per_router: int = 1,
+) -> Network:
+    """Build a dragonfly of fully-connected groups.
+
+    Args:
+        groups: number of groups g; each ordered group pair is joined by
+            exactly one global cable, so ``g - 1`` must not exceed the
+            group's global-port budget ``routers_per_group * global_per_router``.
+        routers_per_group: group size a (fully connected internally).
+        nodes_per_router: end nodes per router (the p parameter).
+        global_per_router: global-port budget h of each router.
+
+    Routers carry ``group`` and ``slot`` attributes; router-to-router
+    links carry ``scope`` ("local" or "global").  Global cables are
+    assigned to routers in slot order (the standard consecutive
+    arrangement), deterministically.
+    """
+    if groups < 2:
+        raise ValueError(f"dragonfly needs >= 2 groups, got {groups}")
+    global_budget = routers_per_group * global_per_router
+    if groups - 1 > global_budget:
+        raise ValueError(
+            f"{groups} groups need {groups - 1} global links per group, but "
+            f"{routers_per_group} routers x {global_per_router} global ports "
+            f"offer only {global_budget}"
+        )
+    radix = (routers_per_group - 1) + global_per_router + nodes_per_router
+
+    b = NetworkBuilder(f"dragonfly-g{groups}a{routers_per_group}", radix)
+    net = b.net
+    net.attrs["topology"] = "dragonfly"
+    net.attrs["groups"] = groups
+    net.attrs["routers_per_group"] = routers_per_group
+    net.attrs["nodes_per_router"] = nodes_per_router
+    net.attrs["global_per_router"] = global_per_router
+
+    for g in range(groups):
+        ids = [
+            b.router(dragonfly_router_id(g, slot), group=g, slot=slot)
+            for slot in range(routers_per_group)
+        ]
+        b.fully_connect(ids, scope="local")
+
+    # One global cable per group pair, parceled out to routers in slot
+    # order: the k-th global port a group opens serves its k-th peer group.
+    used = [0] * groups
+    for g1 in range(groups):
+        for g2 in range(g1 + 1, groups):
+            r1 = dragonfly_router_id(g1, used[g1] // global_per_router)
+            r2 = dragonfly_router_id(g2, used[g2] // global_per_router)
+            used[g1] += 1
+            used[g2] += 1
+            b.cable(r1, r2, scope="global")
+
+    for g in range(groups):
+        for slot in range(routers_per_group):
+            b.attach_end_nodes(dragonfly_router_id(g, slot), nodes_per_router)
+    return net

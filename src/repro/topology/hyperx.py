@@ -1,0 +1,75 @@
+"""HyperX topology: per-dimension fully-connected multidimensional fabrics.
+
+A HyperX (Ahn et al.; see arXiv 2404.04315 for the modern treatment)
+places one switch at each coordinate of an L-dimensional grid and fully
+connects every *aligned* group: two switches are cabled whenever their
+coordinates differ in exactly one dimension.  It generalizes both the
+hypercube (all widths 2) and the full mesh (one dimension) and reaches
+any switch in at most L hops -- one per dimension -- so dimension-order
+minimal routing is both short and, because each hop strictly advances the
+dimension index, trivially orderable (see
+:mod:`repro.routing.hyperx`).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network
+from repro.topology.mesh import router_id_at
+
+__all__ = ["hyperx"]
+
+
+def hyperx(
+    shape: Sequence[int],
+    nodes_per_router: int = 2,
+    router_radix: int | None = None,
+) -> Network:
+    """Build an L-dimensional HyperX.
+
+    Args:
+        shape: per-dimension switch counts, e.g. ``(3, 3)`` for a 9-switch
+            2-D HyperX with 2-switch-hop worst case.
+        nodes_per_router: end nodes attached to every switch (the T
+            parameter).
+        router_radix: port budget; defaults to exactly the
+            ``sum(shape) - L + nodes_per_router`` ports the shape needs.
+
+    Routers carry ``coord`` attributes and the network carries ``shape``,
+    so the dimension-order router works unchanged; links carry ``dim``.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 2 for s in shape):
+        raise ValueError(f"hyperx dimensions must be >= 2, got {shape}")
+    needed = sum(s - 1 for s in shape) + nodes_per_router
+    if router_radix is None:
+        router_radix = needed
+    elif router_radix < needed:
+        raise ValueError(
+            f"hyperx {shape} with {nodes_per_router} nodes/switch needs "
+            f"radix >= {needed}, got {router_radix}"
+        )
+
+    b = NetworkBuilder(f"hyperx{'x'.join(map(str, shape))}", router_radix)
+    net = b.net
+    net.attrs["topology"] = "hyperx"
+    net.attrs["shape"] = shape
+    net.attrs["nodes_per_router"] = nodes_per_router
+
+    for coord in product(*(range(s) for s in shape)):
+        b.router(router_id_at(coord), coord=coord)
+
+    # Fully connect every aligned group: +direction from the lower coordinate.
+    for coord in product(*(range(s) for s in shape)):
+        for dim, size in enumerate(shape):
+            for other in range(coord[dim] + 1, size):
+                peer = list(coord)
+                peer[dim] = other
+                b.cable(router_id_at(coord), router_id_at(tuple(peer)), dim=dim)
+
+    for coord in product(*(range(s) for s in shape)):
+        b.attach_end_nodes(router_id_at(coord), nodes_per_router)
+    return net

@@ -239,8 +239,10 @@ def _ensure_defaults() -> None:
     from repro.core.fractahedron import fat_fractahedron, thin_fractahedron
     from repro.topology.butterfly import butterfly
     from repro.topology.ccc import cube_connected_cycles
+    from repro.topology.dragonfly import dragonfly
     from repro.topology.fattree import fat_tree
     from repro.topology.fully_connected import fully_connected_assembly
+    from repro.topology.hyperx import hyperx
     from repro.topology.hypercube import hypercube
     from repro.topology.mesh import mesh
     from repro.topology.ring import ring
@@ -261,6 +263,8 @@ def _ensure_defaults() -> None:
         "ccc": cube_connected_cycles,
         "shuffle_exchange": shuffle_exchange,
         "fully_connected": fully_connected_assembly,
+        "hyperx": hyperx,
+        "dragonfly": dragonfly,
         "fat_tree": fat_tree,
         "thin_fractahedron": thin_fractahedron,
         "fat_fractahedron": fat_fractahedron,

@@ -199,3 +199,55 @@ class TestScaleStudy:
         text = scale_study.report(max_levels=1)
         assert "Scale study" in text
         assert "top depth N=1" in text
+
+
+class TestModernTopologies:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import modern_topologies
+
+        return modern_topologies.run(cycles=150, recovery_cycles=240)
+
+    def test_headline_booleans(self, result):
+        assert result["all_agree"]
+        assert result["vc_free_fullmesh_certified"]
+        assert result["naive_fullmesh_rejected"]
+
+    def test_certification_matrix_shape(self, result):
+        rows = result["certification"]
+        # the two physically-cyclic schemes are rejected by both certifiers
+        rejected = {
+            (r["name"], r["routing"])
+            for r in rows
+            if r["virtual_channels"] == 0 and not r["order_free"]
+        }
+        assert rejected == {
+            ("dragonfly_g5", "minimal_lgl"),
+            ("fullmesh_6", "naive_spread"),
+        }
+        # every VC-laddered scheme certifies
+        assert all(r["cdg_free"] for r in rows if r["virtual_channels"] == 2)
+
+    def test_end_to_end_legs(self, result):
+        assert all(v["ok"] for v in result["validation"])
+        assert all(p["parity"] for p in result["parity"])
+        assert all(s["saturation_rate"] > 0 for s in result["saturation"])
+        for row in result["recovery"]:
+            assert row["failures"] == 2
+            assert row["delivery_rate"] == 1.0
+            assert row["post_recovery_rate"] == 1.0
+
+    def test_registered_with_headline_checks(self, result):
+        from repro.experiments.registry import experiment_names
+        from repro.experiments.summary import HEADLINE_CHECKS
+
+        assert "modern" in experiment_names()
+        assert all(ok for _, ok in HEADLINE_CHECKS["modern"](result))
+
+    def test_report_text(self):
+        from repro.experiments import modern_topologies
+
+        text = modern_topologies.report(cycles=120)
+        assert "channel-order certifier" in text
+        assert "naive_spread" in text
+        assert "NO" in text  # the rejections are visible in the table

@@ -21,7 +21,8 @@ class TestRegistry:
         names = experiment_names()
         assert names[:4] == ["fig1", "fig2", "fig3", "table1"]
         assert "faults" in names and "scale" in names and "ablations" in names
-        assert len(names) == 14
+        assert "modern" in names
+        assert len(names) == 15
 
     def test_every_registered_experiment_satisfies_protocol(self):
         for name in experiment_names():

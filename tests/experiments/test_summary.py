@@ -28,11 +28,11 @@ def test_fast_subset_passes(tmp_path):
 
 
 def test_every_registered_experiment_has_checks_or_is_exempt():
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.registry import experiment_names
 
     # the two open-ended simulation studies have no single paper number
     exempt = {"futurework", "ablations"}
-    assert set(ALL_EXPERIMENTS) - exempt == set(HEADLINE_CHECKS)
+    assert set(experiment_names()) - exempt == set(HEADLINE_CHECKS)
 
 
 def test_failed_check_reported():

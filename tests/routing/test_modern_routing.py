@@ -1,0 +1,165 @@
+"""Unit tests for HyperX, Dragonfly and full-mesh routing schemes."""
+
+import pytest
+
+from repro.deadlock.cdg import (
+    channel_dependency_graph,
+    channel_dependency_graph_vc,
+    find_cycle,
+)
+from repro.deadlock.certifier import certify_channel_order
+from repro.routing.base import all_pairs_routes
+from repro.routing.cache import algorithm_for, cached_tables
+from repro.routing.dragonfly import dragonfly_minimal_tables, dragonfly_vc_assign
+from repro.routing.fullmesh import fullmesh_spread_routes
+from repro.routing.hyperx import hyperx_dor_tables, hyperx_valiant_routes
+from repro.routing.validate import validate_routing
+from repro.topology.dragonfly import dragonfly
+from repro.topology.fully_connected import fully_connected_assembly
+from repro.topology.hyperx import hyperx
+
+
+# ---------------------------------------------------------------- HyperX
+
+
+def test_hyperx_dor_valid_and_certified():
+    net = hyperx((3, 3))
+    tables = hyperx_dor_tables(net)
+    report = validate_routing(net, tables)
+    assert report.ok, report.failures[:3]
+    # one hop per differing dimension, plus nothing else
+    assert report.max_router_hops == 3
+    assert certify_channel_order(net, tables).certified
+
+
+def test_hyperx_dor_ascending_dims():
+    net = hyperx((3, 4))
+    tables = hyperx_dor_tables(net)
+    for route in all_pairs_routes(net, tables):
+        dims = [
+            link.attrs["dim"]
+            for link in (net.link(lid) for lid in route.links)
+            if "dim" in link.attrs
+        ]
+        assert dims == sorted(dims), route
+
+
+def test_hyperx_valiant_two_phase_vc_ladder():
+    net = hyperx((3, 3))
+    routes, vc_assign = hyperx_valiant_routes(net, seed=7)
+    # physical channels may cycle; the 2-VC ladder must not
+    vc_cdg = channel_dependency_graph_vc(net, routes, vc_assign=vc_assign)
+    assert find_cycle(vc_cdg) is None
+    for route in routes:
+        vcs = vc_assign(route)
+        assert len(vcs) == len(route.links)
+        assert vcs == sorted(vcs)  # 0...0 then 1...1
+        assert set(vcs) <= {0, 1}
+
+
+def test_hyperx_valiant_deterministic():
+    net = hyperx((3, 3))
+    a, _ = hyperx_valiant_routes(net, seed=7)
+    b, _ = hyperx_valiant_routes(net, seed=7)
+    assert [r.links for r in a] == [r.links for r in b]
+    c, _ = hyperx_valiant_routes(net, seed=8)
+    assert [r.links for r in a] != [r.links for r in c]
+
+
+# -------------------------------------------------------------- Dragonfly
+
+
+def test_dragonfly_minimal_valid():
+    net = dragonfly(5, routers_per_group=2, global_per_router=2)
+    tables = dragonfly_minimal_tables(net)
+    report = validate_routing(net, tables)
+    assert report.ok, report.failures[:3]
+    # worst case local -> global -> local is four routers on the path
+    assert report.max_router_hops <= 4
+
+
+def test_dragonfly_minimal_physically_cyclic_but_ladder_acyclic():
+    net = dragonfly(5, routers_per_group=2, global_per_router=2)
+    tables = dragonfly_minimal_tables(net)
+    routes = all_pairs_routes(net, tables)
+    assert find_cycle(channel_dependency_graph(net, routes)) is not None
+    assert not certify_channel_order(net, tables).deadlock_free
+    ladder = channel_dependency_graph_vc(
+        net, routes, vc_assign=dragonfly_vc_assign(net)
+    )
+    assert find_cycle(ladder) is None
+
+
+def test_dragonfly_vc_assign_bumps_after_global():
+    net = dragonfly(4, routers_per_group=3)
+    tables = dragonfly_minimal_tables(net)
+    vc_assign = dragonfly_vc_assign(net)
+    crossed_any = False
+    for route in all_pairs_routes(net, tables):
+        vcs = vc_assign(route)
+        scopes = [net.link(lid).attrs.get("scope") for lid in route.links]
+        if "global" in scopes:
+            crossed_any = True
+            first_global = scopes.index("global")
+            assert all(v == 0 for v in vcs[: first_global + 1])
+            assert all(v == 1 for v in vcs[first_global + 1 :])
+        else:
+            assert set(vcs) == {0}
+    assert crossed_any
+
+
+# -------------------------------------------------------------- Full mesh
+
+
+def test_fullmesh_valley_spread_certified_vc_free():
+    net = fully_connected_assembly(6)
+    routes = fullmesh_spread_routes(net, restricted=True, seed=3)
+    result = certify_channel_order(net, routes=routes)
+    assert result.deadlock_free
+    assert result.certificate is not None
+    assert result.certificate.verify(routes) == []
+
+
+def test_fullmesh_naive_spread_rejected():
+    net = fully_connected_assembly(6)
+    routes = fullmesh_spread_routes(net, restricted=False)
+    result = certify_channel_order(net, routes=routes)
+    assert not result.deadlock_free
+    assert result.counterexample
+    assert find_cycle(channel_dependency_graph(net, routes)) is not None
+
+
+def test_fullmesh_routes_reach_their_destinations():
+    net = fully_connected_assembly(5)
+    for restricted in (True, False):
+        routes = fullmesh_spread_routes(net, restricted=restricted)
+        ends = net.end_node_ids()
+        assert len(list(routes)) == len(ends) * (len(ends) - 1)
+        for route in routes:
+            assert route.nodes[0] == route.src
+            assert route.nodes[-1] == route.dst
+            assert len(route.nodes) == len(route.links) + 1
+
+
+def test_fullmesh_requires_full_mesh():
+    from repro.routing.base import RoutingError
+    from repro.topology.mesh import mesh
+
+    with pytest.raises(RoutingError):
+        fullmesh_spread_routes(mesh((3, 3)), restricted=False)
+
+
+# ------------------------------------------------------------- Cache glue
+
+
+def test_algorithm_for_modern_topologies():
+    assert algorithm_for(hyperx((2, 2))) == "hyperx"
+    assert algorithm_for(dragonfly(3, routers_per_group=2)) == "dragonfly"
+
+
+def test_cached_tables_dispatch():
+    net = hyperx((2, 3))
+    tables = cached_tables(net)
+    assert validate_routing(net, tables).ok
+    df = dragonfly(3, routers_per_group=2)
+    assert validate_routing(df, cached_tables(df)).ok

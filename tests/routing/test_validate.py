@@ -1,9 +1,11 @@
 """Unit tests for routing validation."""
 
+import pytest
+
 from repro.network.builder import NetworkBuilder
 from repro.routing.base import RoutingTable
 from repro.routing.shortest_path import shortest_path_tables
-from repro.routing.validate import validate_routing
+from repro.routing.validate import sample_pairs, validate_routing
 from repro.topology.ring import ring
 
 
@@ -62,3 +64,49 @@ def test_revisit_detected():
     t.set("C", "n1", net.links_between("C", "n1")[0].src_port)
     report = validate_routing(net, t, pairs=[("n0", "n1")])
     assert not report.ok
+
+
+def test_sample_pairs_deterministic_and_valid():
+    net = ring(6, nodes_per_router=2)
+    pairs = sample_pairs(net, 10, seed=42)
+    assert pairs == sample_pairs(net, 10, seed=42)
+    assert pairs != sample_pairs(net, 10, seed=43)
+    assert len(pairs) == 10
+    assert len(set(pairs)) == 10
+    ends = set(net.end_node_ids())
+    for src, dst in pairs:
+        assert src in ends and dst in ends and src != dst
+
+
+def test_sample_pairs_covers_every_index():
+    # the arithmetic pair indexing must enumerate exactly the ordered pairs
+    net = ring(3, nodes_per_router=1)
+    pairs = sample_pairs(net, 6, seed=0)
+    assert sorted(pairs) == sorted(
+        (s, d) for s in net.end_node_ids() for d in net.end_node_ids() if s != d
+    )
+
+
+def test_sample_pairs_bounds():
+    net = ring(3, nodes_per_router=1)
+    # oversized counts clamp to the full population
+    assert len(sample_pairs(net, 100)) == 6
+    with pytest.raises(ValueError):
+        sample_pairs(net, 0)
+
+
+def test_sampled_validation_reproducible():
+    net = ring(8, nodes_per_router=2)
+    tables = shortest_path_tables(net)
+    a = validate_routing(net, tables, sample=12, seed=5)
+    b = validate_routing(net, tables, sample=12, seed=5)
+    assert a.ok and b.ok
+    assert a.pairs_checked == b.pairs_checked == 12
+    assert a.max_router_hops == b.max_router_hops
+
+
+def test_sampled_validation_catches_missing_entries():
+    net = ring(4, nodes_per_router=1)
+    report = validate_routing(net, RoutingTable(), sample=5, seed=1)
+    assert not report.ok
+    assert len(report.failures) == 5

@@ -196,3 +196,64 @@ class TestConfigValidationAndDeprecation:
             api.make_sim(
                 net, tables, uniform_traffic(net.end_node_ids(), 0.02, 4, 1), CFG
             )
+
+
+@dataclasses.dataclass(frozen=True)
+class _SkewedPlan(UniformPlan):
+    """A UniformPlan subclass whose build() emits different traffic.
+
+    The vectorized array fast path reads rate/seed off the plan directly
+    and never calls build() -- so a subclass must be dispatched to an
+    engine that materializes it, or its traffic is silently wrong.
+    """
+
+    def build(self, net):
+        from repro.sim.traffic import pairs_traffic
+
+        ends = net.end_node_ids()
+        return pairs_traffic([(ends[0], ends[-1])], self.packet_size)
+
+
+class TestSubclassPlanDispatch:
+    def _spec(self, small, engine="auto"):
+        net, tables = small
+        return api.SimSpec(
+            network=(net, tables),
+            traffic=_SkewedPlan(0.05, 4, 7),
+            config=dataclasses.replace(CFG, engine=engine),
+            cycles=300,
+            drain=True,
+        )
+
+    def test_preferred_engine_pins_subclass_to_compiled(self, small):
+        net, _ = small
+        plain = UniformPlan(0.05, 4, 7)
+        assert api.preferred_engine(net, CFG, _SkewedPlan(0.05, 4, 7)) == "compiled"
+        # sanity: only the subclass is redirected, not the plan itself
+        assert api.preferred_engine(net, CFG, plain) in ("compiled", "vectorized")
+
+    def test_subclass_plan_is_not_batchable(self, small):
+        assert not api._batchable(self._spec(small))
+        net, tables = small
+        assert api._batchable(spec_for((net, tables)))
+
+    def test_auto_honours_overridden_build(self, small):
+        res = api.execute(self._spec(small))
+        assert res.engine != "vectorized"
+        # the override ships exactly one packet; a silently-applied
+        # uniform fast path would deliver dozens
+        assert res.stats.packets_injected == 1
+        assert res.stats.packets_delivered == 1
+
+    def test_forced_vectorized_builds_subclass_plan(self, small):
+        res = api.execute(self._spec(small, engine="vectorized"))
+        assert res.engine == "vectorized"
+        assert res.stats.packets_injected == 1
+        assert res.stats.packets_delivered == 1
+
+    def test_core_refuses_unbuilt_subclass_plan(self, small):
+        from repro.sim.vec import VecCore
+
+        net, tables = small
+        with pytest.raises(TypeError, match="subclass"):
+            VecCore(net, tables, [_SkewedPlan(0.05, 4, 7)], CFG)

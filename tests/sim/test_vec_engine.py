@@ -193,3 +193,43 @@ class TestBatchedReplicas:
         assert core.cycle_of(0) == 100 and core.cycle_of(1) == 100
         stats = core.run(100)
         assert all(s.cycles == 200 for s in stats)
+
+
+class TestRawUniformGate:
+    """The fast-path probe may only swallow *expected* failure shapes."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_gate(self):
+        from repro.sim import vec
+
+        saved = vec._RAW_UNIFORM_OK
+        vec._RAW_UNIFORM_OK = None
+        yield
+        vec._RAW_UNIFORM_OK = saved
+
+    def test_expected_probe_failures_disable_fast_path(self, monkeypatch):
+        from repro.sim import vec
+
+        def broken_probe():
+            raise AttributeError("no PCG64 state dict on this build")
+
+        monkeypatch.setattr(vec, "_check_raw_uniform", broken_probe)
+        assert vec._raw_uniform_ok() is False
+        # the verdict is cached: the probe does not run again
+        monkeypatch.setattr(vec, "_check_raw_uniform", lambda: True)
+        assert vec._raw_uniform_ok() is False
+
+    def test_real_errors_propagate(self, monkeypatch):
+        from repro.sim import vec
+
+        def crashing_probe():
+            raise RuntimeError("genuine kernel bug")
+
+        monkeypatch.setattr(vec, "_check_raw_uniform", crashing_probe)
+        with pytest.raises(RuntimeError, match="genuine kernel bug"):
+            vec._raw_uniform_ok()
+
+    def test_healthy_probe_enables_fast_path(self):
+        from repro.sim import vec
+
+        assert vec._raw_uniform_ok() is True

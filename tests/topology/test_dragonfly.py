@@ -1,0 +1,69 @@
+"""Unit tests for the Dragonfly builder."""
+
+import pytest
+
+from repro.topology.dragonfly import dragonfly, dragonfly_router_id
+from repro.topology.registry import build_topology
+
+
+def test_structure_g5():
+    net = dragonfly(5, routers_per_group=2, global_per_router=2)
+    assert len(net.router_ids()) == 10
+    assert net.num_end_nodes == 20
+    assert net.attrs["topology"] == "dragonfly"
+    assert net.attrs["groups"] == 5
+
+
+def test_groups_are_local_full_meshes():
+    net = dragonfly(3, routers_per_group=4)
+    for g in range(3):
+        for a in range(4):
+            for b in range(a + 1, 4):
+                links = net.links_between(
+                    dragonfly_router_id(g, a), dragonfly_router_id(g, b)
+                )
+                assert links and links[0].attrs["scope"] == "local"
+
+
+def test_every_group_pair_has_one_global_cable():
+    net = dragonfly(4, routers_per_group=3)
+    group_of = {
+        r: net.node(r).attrs["group"] for r in net.router_ids()
+    }
+    cables = set()
+    for link in net.links():
+        if link.attrs.get("scope") == "global":
+            pair = tuple(sorted((group_of[link.src], group_of[link.dst])))
+            cables.add(pair)
+    assert cables == {(a, b) for a in range(4) for b in range(a + 1, 4)}
+
+
+def test_global_slot_spread():
+    # groups-1 == a*h exactly: every global port on every router is used
+    net = dragonfly(5, routers_per_group=2, global_per_router=2)
+    used = {r: 0 for r in net.router_ids()}
+    for link in net.links():
+        if link.attrs.get("scope") == "global":
+            used[link.src] += 1
+    assert all(n == 2 for n in used.values())
+
+
+def test_router_attrs():
+    net = dragonfly(3, routers_per_group=2)
+    node = net.node(dragonfly_router_id(1, 0))
+    assert node.attrs["group"] == 1
+    assert node.attrs["slot"] == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        dragonfly(1)
+    with pytest.raises(ValueError):
+        # 6 peer groups > 2 routers * 2 global ports
+        dragonfly(7, routers_per_group=2, global_per_router=2)
+
+
+def test_registry_build():
+    net = build_topology("dragonfly", groups=3, routers_per_group=2, nodes_per_router=1)
+    assert len(net.router_ids()) == 6
+    assert net.num_end_nodes == 6

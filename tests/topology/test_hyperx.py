@@ -1,0 +1,63 @@
+"""Unit tests for the HyperX builder."""
+
+import pytest
+
+from repro.topology.hyperx import hyperx
+from repro.topology.mesh import router_id_at
+from repro.topology.registry import build_topology
+
+
+def test_structure_3x3():
+    net = hyperx((3, 3))
+    assert len(net.router_ids()) == 9
+    assert net.num_end_nodes == 18
+    assert net.attrs["topology"] == "hyperx"
+    assert net.attrs["shape"] == (3, 3)
+
+
+def test_fully_connected_per_dimension():
+    net = hyperx((3, 4))
+    # row mates (dim 1) and column mates (dim 0) are directly cabled
+    assert net.links_between(router_id_at((0, 0)), router_id_at((0, 3)))
+    assert net.links_between(router_id_at((0, 0)), router_id_at((2, 0)))
+    # diagonal pairs are not
+    assert not net.links_between(router_id_at((0, 0)), router_id_at((1, 1)))
+
+
+def test_link_dim_attr():
+    net = hyperx((2, 2))
+    for link in net.links():
+        if net.node(link.src).is_router and net.node(link.dst).is_router:
+            assert link.attrs["dim"] in (0, 1)
+
+
+def test_one_dimension_is_full_mesh():
+    net = hyperx((5,))
+    routers = net.router_ids()
+    assert len(routers) == 5
+    for i, a in enumerate(routers):
+        for b in routers[i + 1 :]:
+            assert net.links_between(a, b)
+
+
+def test_radix_accounting():
+    # S=(3,3): 2+2 fabric ports + 2 node ports = radix 6
+    net = hyperx((3, 3))
+    assert all(net.free_ports(r) == 0 for r in net.router_ids())
+    roomy = hyperx((3, 3), router_radix=8)
+    assert all(roomy.free_ports(r) == 2 for r in roomy.router_ids())
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        hyperx(())
+    with pytest.raises(ValueError):
+        hyperx((1, 3))
+    with pytest.raises(ValueError):
+        hyperx((4, 4), router_radix=4)
+
+
+def test_registry_build():
+    net = build_topology("hyperx", shape=(2, 2), nodes_per_router=1)
+    assert len(net.router_ids()) == 4
+    assert net.num_end_nodes == 4
